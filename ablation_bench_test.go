@@ -1,0 +1,207 @@
+package mcpat_test
+
+// Ablation benchmarks: each one isolates a design choice DESIGN.md calls
+// out and reports the quantitative effect as custom metrics, so
+// `go test -bench=Ablation` documents the sensitivity of the models.
+
+import (
+	"testing"
+
+	"mcpat"
+	"mcpat/internal/array"
+	"mcpat/internal/tech"
+)
+
+// BenchmarkAblationWireProjection compares the chip fabric under the
+// aggressive vs conservative interconnect projections (the McPAT input
+// that brackets wire-technology uncertainty).
+func BenchmarkAblationWireProjection(b *testing.B) {
+	base, err := mcpat.ManycoreConfig(mcpat.DefaultStudyParams(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var agg, cons float64
+	for i := 0; i < b.N; i++ {
+		a := base
+		a.WireProjection = tech.Aggressive
+		pa, err := mcpat.New(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		agg = pa.Report(nil).Find("NoC").Peak()
+
+		c := base
+		c.WireProjection = tech.Conservative
+		pc, err := mcpat.New(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cons = pc.Report(nil).Find("NoC").Peak()
+	}
+	b.ReportMetric(agg, "aggressive-NoC-W")
+	b.ReportMetric(cons, "conservative-NoC-W")
+	if cons <= agg {
+		b.Fatal("conservative wires must cost more fabric power")
+	}
+}
+
+// BenchmarkAblationArrayObjective runs the array optimizer on the same
+// 2MB cache under each optimization objective and reports the spread -
+// the internal-optimizer design choice.
+func BenchmarkAblationArrayObjective(b *testing.B) {
+	node := tech.MustByFeature(32)
+	mk := func(obj array.Objective) *array.Result {
+		return array.MustNew(array.Config{
+			Name: "abl", Tech: node, Periph: tech.HP, Cell: tech.HP,
+			Bytes: 2 << 20, BlockBits: 512, Assoc: 8, Obj: obj,
+		})
+	}
+	var fast, small, balanced *array.Result
+	for i := 0; i < b.N; i++ {
+		fast = mk(array.OptDelay)
+		small = mk(array.OptArea)
+		balanced = mk(array.OptED2)
+	}
+	b.ReportMetric(fast.AccessTime*1e9, "delay-opt-ns")
+	b.ReportMetric(small.AccessTime*1e9, "area-opt-ns")
+	b.ReportMetric(small.Area/fast.Area, "area-ratio")
+	if balanced.AccessTime < fast.AccessTime || balanced.Area < small.Area {
+		b.Fatal("ED2 objective must sit between the extremes")
+	}
+}
+
+// BenchmarkAblationCacheAccessMode compares parallel vs sequential
+// tag/data access of an L1-class cache.
+func BenchmarkAblationCacheAccessMode(b *testing.B) {
+	node := tech.MustByFeature(45)
+	mk := func(sequential bool) *array.Result {
+		s := sequential
+		return array.MustNew(array.Config{
+			Name: "l1", Tech: node, Periph: tech.HP, Cell: tech.HP,
+			Bytes: 32 << 10, BlockBits: 512, Assoc: 4, Sequential: &s,
+		})
+	}
+	var par, seq *array.Result
+	for i := 0; i < b.N; i++ {
+		par = mk(false)
+		seq = mk(true)
+	}
+	b.ReportMetric(par.AccessTime*1e9, "parallel-ns")
+	b.ReportMetric(seq.AccessTime*1e9, "sequential-ns")
+	b.ReportMetric(seq.Energy.Read/par.Energy.Read, "seq-energy-ratio")
+}
+
+// BenchmarkAblationInterconnectKind builds the same 16-core chip with
+// each fabric and reports the fabric power of each - the case study's
+// central design axis, isolated.
+func BenchmarkAblationInterconnectKind(b *testing.B) {
+	kinds := []struct {
+		kind mcpat.InterconnectKind
+		name string
+	}{
+		{mcpat.Bus, "bus"},
+		{mcpat.Crossbar, "crossbar"},
+		{mcpat.Mesh, "mesh"},
+		{mcpat.Ring, "ring"},
+	}
+	results := map[string]float64{}
+	for i := 0; i < b.N; i++ {
+		for _, k := range kinds {
+			cfg := mcpat.Config{
+				Name: "abl-ic", NM: 32, ClockHz: 2e9, NumCores: 16,
+				Core: mcpat.CoreConfig{Threads: 2, IntALUs: 1,
+					ICache: mcpat.CacheParams{Bytes: 16 << 10},
+					DCache: mcpat.CacheParams{Bytes: 16 << 10}},
+				L2:  &mcpat.CacheConfig{Name: "L2", Bytes: 8 << 20, Banks: 16},
+				NoC: mcpat.NoCSpec{Kind: k.kind, FlitBits: 128, MeshX: 4, MeshY: 4, VirtualChannels: 2, BuffersPerVC: 4},
+			}
+			p, err := mcpat.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep := p.Report(nil)
+			for _, name := range []string{"Bus", "Crossbar", "NoC", "Ring"} {
+				if f := rep.Find(name); f != nil {
+					results[k.name] = f.Peak()
+				}
+			}
+		}
+	}
+	for name, w := range results {
+		b.ReportMetric(w, name+"-W")
+	}
+}
+
+// BenchmarkAblationLongChannel isolates the long-channel device option on
+// the Niagara validation chip.
+func BenchmarkAblationLongChannel(b *testing.B) {
+	base := mcpat.ValidationTargets()[0].Chip
+	var std, lc float64
+	for i := 0; i < b.N; i++ {
+		ps, err := mcpat.New(base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		std = ps.Leakage()
+		c := base
+		c.LongChannel = true
+		pl, err := mcpat.New(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lc = pl.Leakage()
+	}
+	b.ReportMetric(std, "std-leak-W")
+	b.ReportMetric(lc, "longch-leak-W")
+	if lc >= std {
+		b.Fatal("long channel must cut leakage")
+	}
+}
+
+// BenchmarkAblationPowerGating isolates the power-gating option at 50%
+// pipeline duty.
+func BenchmarkAblationPowerGating(b *testing.B) {
+	mk := func(gated bool) (runtime float64) {
+		cfg := mcpat.ValidationTargets()[0].Chip
+		cfg.Core.PowerGating = gated
+		p, err := mcpat.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats := &mcpat.Stats{CoreRun: p.CorePeakActivity().Scale(0.5)}
+		rep := p.Report(stats)
+		return rep.Runtime()
+	}
+	var plain, gated float64
+	for i := 0; i < b.N; i++ {
+		plain = mk(false)
+		gated = mk(true)
+	}
+	b.ReportMetric(plain, "ungated-W")
+	b.ReportMetric(gated, "gated-W")
+	if gated >= plain {
+		b.Fatal("power gating must reduce runtime power at 50% duty")
+	}
+}
+
+// BenchmarkAblationEDRAMvsSRAM isolates the LLC cell choice.
+func BenchmarkAblationEDRAMvsSRAM(b *testing.B) {
+	mk := func(edram bool) *mcpat.Cache {
+		c, err := mcpat.NewCache(32, 2e9, mcpat.HP, mcpat.CacheConfig{
+			Name: "llc", Bytes: 16 << 20, BlockBytes: 64, Assoc: 16, Banks: 8,
+			EDRAM: edram,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+	var sram, edram *mcpat.Cache
+	for i := 0; i < b.N; i++ {
+		sram = mk(false)
+		edram = mk(true)
+	}
+	b.ReportMetric(sram.Area*1e6, "sram-mm2")
+	b.ReportMetric(edram.Area*1e6, "edram-mm2")
+	b.ReportMetric(edram.AccessTime()/sram.AccessTime(), "edram-latency-ratio")
+}

@@ -1,0 +1,107 @@
+// Command mcpat-dse runs a constrained design-space exploration: it
+// sweeps core count, per-core L2 capacity, fabric, and clustering at a
+// technology node; prunes points that exceed the area/TDP budget; ranks
+// the survivors under the chosen objective; and prints the Pareto story.
+//
+// Example:
+//
+//	mcpat-dse -nm 22 -cores 16,32,64 -l2kb 128,256,512 \
+//	          -max-area 400 -max-tdp 250 -objective perf/watt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mcpat"
+)
+
+func main() {
+	var (
+		nm       = flag.Float64("nm", 22, "technology node (nm)")
+		clockGHz = flag.Float64("clock", 2.5, "clock (GHz)")
+		threads  = flag.Int("threads", 4, "hardware threads per core")
+		cores    = flag.String("cores", "16,32,64", "core counts to sweep")
+		l2kb     = flag.String("l2kb", "256", "per-core L2 KB to sweep")
+		clusters = flag.String("clusters", "1,2,4", "cluster sizes to sweep (mesh)")
+		maxArea  = flag.Float64("max-area", 400, "area budget (mm^2, 0 = none)")
+		maxTDP   = flag.Float64("max-tdp", 250, "TDP budget (W, 0 = none)")
+		objName  = flag.String("objective", "throughput", "throughput|perf/watt|ed2ap")
+		topN     = flag.Int("top", 8, "candidates to print")
+	)
+	flag.Parse()
+
+	var obj mcpat.DSEObjective
+	switch *objName {
+	case "throughput":
+		obj = mcpat.MaxThroughput
+	case "perf/watt":
+		obj = mcpat.MaxPerfPerWatt
+	case "ed2ap":
+		obj = mcpat.MinED2AP
+	default:
+		fmt.Fprintf(os.Stderr, "mcpat-dse: unknown objective %q\n", *objName)
+		os.Exit(2)
+	}
+
+	res, err := mcpat.ExploreDesignSpace(
+		mcpat.DSEParams{NM: *nm, ClockHz: *clockGHz * 1e9, Threads: *threads},
+		mcpat.DSESpace{
+			Cores:        ints(*cores),
+			L2PerCoreKB:  ints(*l2kb),
+			ClusterSizes: ints(*clusters),
+		},
+		mcpat.DSEConstraints{MaxAreaMM2: *maxArea, MaxTDP: *maxTDP},
+		obj,
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcpat-dse:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("Explored %d design points (%d feasible) at %gnm under %s\n\n",
+		res.Evaluated, res.Feasible, *nm, *objName)
+	fmt.Printf("%6s %6s %8s %8s %8s %8s %10s %10s  %s\n",
+		"cores", "l2KB", "cluster", "TDP W", "mm^2", "GIPS", "GIPS/W", "score", "status")
+	shown := 0
+	for _, c := range res.Candidates {
+		if shown >= *topN {
+			break
+		}
+		status := "ok"
+		if !c.Feasible {
+			status = c.Reject
+		}
+		fmt.Printf("%6d %6d %8d %8.1f %8.1f %8.1f %10.2f %10.3g  %s\n",
+			c.Cores, c.L2PerCoreKB, c.ClusterSize, c.TDP, c.AreaMM2,
+			c.Perf/1e9, c.Perf/1e9/c.RunW, c.Score, status)
+		shown++
+	}
+	if res.Best != nil {
+		fmt.Printf("\nBest: %d cores, %d KB L2/core, cluster=%d  (%.1f W, %.1f mm^2, %.1f GIPS)\n",
+			res.Best.Cores, res.Best.L2PerCoreKB, res.Best.ClusterSize,
+			res.Best.TDP, res.Best.AreaMM2, res.Best.Perf/1e9)
+	} else {
+		fmt.Println("\nNo feasible design under the given budget.")
+	}
+}
+
+func ints(csv string) []int {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcpat-dse: bad integer %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package mcpat_test
+
+import (
+	"fmt"
+
+	"mcpat"
+)
+
+// ExampleNew shows the minimal TDP workflow: describe a chip, synthesize
+// it, read the totals.
+func ExampleNew() {
+	cfg := mcpat.Config{
+		Name: "example", NM: 45, ClockHz: 2e9, NumCores: 2,
+		Core: mcpat.CoreConfig{
+			Threads: 2,
+			ICache:  mcpat.CacheParams{Bytes: 16 << 10},
+			DCache:  mcpat.CacheParams{Bytes: 16 << 10},
+			IntALUs: 1,
+		},
+		L2:  &mcpat.CacheConfig{Name: "L2", Bytes: 1 << 20, Banks: 2},
+		NoC: mcpat.NoCSpec{Kind: mcpat.Bus, FlitBits: 64},
+	}
+	p, err := mcpat.New(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	rep := p.Report(nil)
+	fmt.Printf("components: %d\n", len(rep.Children))
+	fmt.Printf("positive totals: %v\n", rep.Peak() > 0 && rep.Area > 0)
+	// Output:
+	// components: 4
+	// positive totals: true
+}
+
+// ExampleValidate reproduces one row of the paper's validation section.
+func ExampleValidate() {
+	target := mcpat.ValidationTargets()[0] // Niagara
+	r, err := mcpat.Validate(target)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("target: %s\n", target.Ref.Name)
+	fmt.Printf("TDP error within 20%%: %v\n", r.TDPErr > -20 && r.TDPErr < 20)
+	fmt.Printf("area error within 25%%: %v\n", r.AreaErr > -25 && r.AreaErr < 25)
+	// Output:
+	// target: Niagara (UltraSPARC T1)
+	// TDP error within 20%: true
+	// area error within 25%: true
+}
+
+// ExampleSimulate runs the bundled performance substrate and inspects its
+// statistics interface.
+func ExampleSimulate() {
+	sim, err := mcpat.Simulate(mcpat.Machine{
+		Cores: 8, ThreadsPerCore: 4, ClockHz: 2e9,
+		L2Latency: 16, MemLatency: 150, MemBandwidth: 50e9,
+	}, mcpat.SPLASH2LikeWorkloads()[2]) // lu: cache-friendly
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("IPC at the issue cap: %v\n", sim.CoreIPC > 0.9)
+	fmt.Printf("statistics present: %v\n", sim.L2AccessesSec > 0 && sim.MemAccessesS > 0)
+	// Output:
+	// IPC at the issue cap: true
+	// statistics present: true
+}
+
+// ExamplePresetByName synthesizes a bundled template.
+func ExamplePresetByName() {
+	p, err := mcpat.PresetByName("arm-a9")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	proc, err := mcpat.New(p.Config)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%s under 2W: %v\n", p.Name, proc.TDP() < 2)
+	// Output:
+	// arm-a9 under 2W: true
+}
+
+// ExampleVFScan sweeps voltage/frequency around the nominal point.
+func ExampleVFScan() {
+	preset, err := mcpat.PresetByName("atom-class")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	pts, err := mcpat.VFScan(preset.Config, []float64{0.8, 1.0})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("points: %d\n", len(pts))
+	fmt.Printf("lower voltage saves energy/cycle: %v\n",
+		pts[0].EnergyPerCycle < pts[1].EnergyPerCycle)
+	// Output:
+	// points: 2
+	// lower voltage saves energy/cycle: true
+}

@@ -1,0 +1,69 @@
+// Platform-budget example: assemble a full platform power picture around
+// the chip - the thermally self-consistent chip TDP (leakage depends on
+// junction temperature, which depends on power and the heatsink), plus
+// the off-chip DRAM channels evaluated with the IDD datasheet
+// methodology. This is the system-level accounting McPAT users do around
+// the core tool.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcpat"
+)
+
+func main() {
+	// The Niagara-class validation chip with its 4 DDR2 channels.
+	target := mcpat.ValidationTargets()[0]
+	cfg := target.Chip
+
+	// 1. Thermal fixed point under two cooling solutions.
+	fmt.Println("=== chip: thermally self-consistent TDP ===")
+	for _, pkg := range []struct {
+		name string
+		spec mcpat.PackageSpec
+	}{
+		{"server heatsink (0.25 K/W)", mcpat.PackageSpec{AmbientK: 318, RthetaJA: 0.25, MaxTjK: 378}},
+		{"constrained 1U   (0.60 K/W)", mcpat.PackageSpec{AmbientK: 318, RthetaJA: 0.60, MaxTjK: 378}},
+	} {
+		res, err := mcpat.SolveThermal(cfg, pkg.spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "ok"
+		if res.OverLimit {
+			status = "OVER Tj LIMIT"
+		}
+		fmt.Printf("%-28s Tj=%.0f C  TDP=%.1f W  leakage=%.1f W  (%d iters, %s)\n",
+			pkg.name, res.TjK-273, res.TDP, res.Leakage, res.Iterations, status)
+	}
+
+	// 2. DRAM: four DDR2-800 channels at a memory-bound operating point.
+	fmt.Println("\n=== memory: 4x DDR2-800 channels (IDD model) ===")
+	perChannelRead, perChannelWrite := 3.5e9, 1.5e9 // bytes/s
+	total := 0.0
+	ch := mcpat.DRAMChannel{Device: mcpat.DDR2x800(), DevicesPerRank: 8, Ranks: 2}
+	r, err := mcpat.DRAMChannelPower(ch, mcpat.DRAMTraffic{
+		ReadBytesPerSec:  perChannelRead,
+		WriteBytesPerSec: perChannelWrite,
+		RowHitRate:       0.55,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("per channel @ %.1f GB/s: %.2f W  [bg %.2f, act/pre %.2f, bursts %.2f, refresh %.2f, term %.2f]\n",
+		(perChannelRead+perChannelWrite)/1e9, r.Total,
+		r.Background, r.ActPre, r.ReadBurst+r.WriteBurst, r.Refresh, r.Termination)
+	total = 4 * r.Total
+
+	// 3. The platform picture.
+	th, err := mcpat.SolveThermal(cfg, mcpat.PackageSpec{AmbientK: 318, RthetaJA: 0.25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== platform budget ===")
+	fmt.Printf("chip (thermally converged) %.1f W\n", th.TDP)
+	fmt.Printf("DRAM (4 channels)          %.1f W\n", total)
+	fmt.Printf("platform silicon+memory    %.1f W\n", th.TDP+total)
+}

@@ -1,0 +1,99 @@
+// Trace-study example: the full-fidelity pipeline. A synthetic parallel
+// program is run through the trace-driven cache simulator (set-associative
+// LRU caches, MSI coherence), the *measured* miss and sharing rates feed
+// the contention-aware analytical performance model, and its statistics
+// drive the power models - program behavior to watts, end to end, with no
+// assumed miss rates anywhere.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcpat"
+)
+
+func main() {
+	const (
+		cores   = 16
+		threads = 16
+		clock   = 2.0e9
+	)
+
+	// 1. Describe the program's memory behavior and trace it through the
+	// cache hierarchy.
+	tc := mcpat.TraceConfig{
+		Name: "blocked-solver", Seed: 7,
+		Threads:           threads,
+		AccessesPerThread: 100_000,
+		LoadFrac:          0.27, StoreFrac: 0.11,
+		BranchFrac: 0.12, FPFrac: 0.30,
+		HotSetBytes: 16 << 10, WarmSetBytes: 256 << 10, SharedBytes: 512 << 10,
+		SharedFrac: 0.12, WarmFrac: 0.18, StreamFrac: 0.04,
+		BaseCPI: 1.1,
+	}
+	hier := mcpat.CacheHierarchy{
+		Cores: cores, ThreadsPerCore: 1,
+		L1Bytes: 32 << 10, L1Assoc: 4, BlockBytes: 64,
+		L2Bytes: 8 << 20, L2Assoc: 8, L2Banks: cores,
+	}
+	traced, err := mcpat.SimulateTrace(hier, tc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("=== trace simulation (%d accesses) ===\n", traced.Accesses)
+	fmt.Printf("L1 miss rate %.3f   L2 miss rate %.3f\n", traced.L1MissRate, traced.L2MissRate)
+	fmt.Printf("coherence: %d invalidations, %d cache-to-cache transfers, %d write-backs, %d inclusion victims\n\n",
+		traced.Invalidations, traced.C2CTransfers, traced.WriteBacks, traced.BackInvalidations)
+
+	// 2. Feed the measured rates into the contention-aware performance
+	// model.
+	w := traced.ToWorkload(5e9)
+	sim, err := mcpat.Simulate(mcpat.Machine{
+		Cores: cores, ThreadsPerCore: 1, IssueWidth: 1, ClockHz: clock,
+		L2Latency: 18, FabricHopLat: 4, MemLatency: 120,
+		MemBandwidth: 100e9,
+	}, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("=== performance model ===\n")
+	fmt.Printf("IPC/core %.2f   throughput %.1f GIPS   runtime %.1f ms\n\n",
+		sim.CoreIPC, sim.Throughput/1e9, sim.Runtime*1e3)
+
+	// 3. Build the chip and compute runtime power from the simulated
+	// statistics.
+	cfg := mcpat.Config{
+		Name: "trace-study-chip", NM: 32, ClockHz: clock, NumCores: cores,
+		Core: mcpat.CoreConfig{
+			ICache:  mcpat.CacheParams{Bytes: 32 << 10, BlockBytes: 64, Assoc: 4},
+			DCache:  mcpat.CacheParams{Bytes: 32 << 10, BlockBytes: 64, Assoc: 4},
+			IntALUs: 1, FPUs: 1,
+		},
+		L2: &mcpat.CacheConfig{Name: "L2", Bytes: 8 << 20, Banks: cores,
+			Directory: true, Sharers: cores},
+		NoC: mcpat.NoCSpec{Kind: mcpat.Mesh, FlitBits: 128, MeshX: 4, MeshY: 4,
+			VirtualChannels: 2, BuffersPerVC: 4},
+		MC: &mcpat.MCConfig{Channels: 2, PeakBandwidth: 100e9, LVDS: true},
+	}
+	p, err := mcpat.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := &mcpat.Stats{
+		CoreRun:    sim.CoreActivity,
+		L2Reads:    sim.L2ReadsSec,
+		L2Writes:   sim.L2WritesSec,
+		NoCFlits:   sim.FabricFlits,
+		MCAccesses: sim.MemAccessesS,
+	}
+	rep := p.Report(stats)
+	fmt.Printf("=== power (McPAT) ===\n")
+	fmt.Printf("TDP %.1f W   runtime %.1f W   energy for the problem %.2f J\n",
+		rep.Peak(), rep.Runtime(), rep.Runtime()*sim.Runtime)
+	for _, name := range []string{"Cores", "L2", "NoC", "MemoryController", "ClockNetwork"} {
+		if n := rep.Find(name); n != nil {
+			fmt.Printf("  %-18s %6.2f W\n", name, n.Runtime())
+		}
+	}
+}

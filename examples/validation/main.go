@@ -1,0 +1,40 @@
+// Validation example: reproduce the paper's validation section by
+// synthesizing the four target processors (Niagara, Niagara2, Alpha 21364,
+// Xeon Tulsa) and comparing modeled power and area against the published
+// reference data, printing per-component error tables.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"mcpat"
+)
+
+func main() {
+	fmt.Println("McPAT validation against the four published processors")
+	fmt.Println("(reference component splits are reconstructed; see EXPERIMENTS.md)")
+
+	var worstTDP, worstArea float64
+	for _, target := range mcpat.ValidationTargets() {
+		r, err := mcpat.Validate(target)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n--- %s @ %gnm, %.2f GHz, %.2f V ---\n",
+			target.Ref.Name, target.Ref.TechNM, target.Ref.ClockHz/1e9, target.Ref.Vdd)
+		for _, row := range r.Rows {
+			fmt.Printf("  %-26s published %6.1f W   modeled %6.1f W   (%+.1f%%)\n",
+				row.Component, row.Published, row.Modeled, row.ErrPct)
+		}
+		fmt.Printf("  %-26s published %6.1f W   modeled %6.1f W   (%+.1f%%)\n",
+			"TOTAL TDP", r.TDPPub, r.TDPMod, r.TDPErr)
+		fmt.Printf("  %-26s published %6.1f mm2 modeled %6.1f mm2 (%+.1f%%)\n",
+			"DIE AREA", r.AreaPub, r.AreaMod, r.AreaErr)
+		worstTDP = math.Max(worstTDP, math.Abs(r.TDPErr))
+		worstArea = math.Max(worstArea, math.Abs(r.AreaErr))
+	}
+	fmt.Printf("\nWorst-case errors: TDP %.1f%%, area %.1f%% ", worstTDP, worstArea)
+	fmt.Println("(the paper reports validation errors of roughly 10-25%)")
+}

@@ -1,0 +1,3 @@
+module mcpat
+
+go 1.24

@@ -1,0 +1,490 @@
+// Package array implements McPAT's memory-array circuit model, the
+// CACTI-derived engine used for every storage structure on the chip:
+// caches (data + tag), register files, instruction/issue queues, ROBs,
+// branch predictors, TLBs (CAM), load/store queues, NoC buffers, and
+// memory-controller buffers.
+//
+// An array is organized as banks, each split into subarrays of R rows by C
+// columns. The model computes access/cycle time from the decoder, wordline,
+// bitline, sense-amplifier and output H-tree path (Elmore RC + logical
+// effort), dynamic energy per read/write/search, subthreshold and gate
+// leakage, and layout area including multiport cell growth. An internal
+// optimizer enumerates (R, C, column-mux) organizations, rejects those
+// that miss the timing target, and picks the best remaining one under the
+// requested objective - exactly the role of McPAT's internal optimizer.
+package array
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mcpat/internal/circuit"
+	"mcpat/internal/power"
+	"mcpat/internal/tech"
+)
+
+// CellType selects the storage cell family.
+type CellType int
+
+const (
+	// SRAM is the standard 6T cell, used for caches and large RAMs.
+	SRAM CellType = iota
+	// DFF models flip-flop based storage, used for small, heavily
+	// multiported structures (fetch buffers, pipeline queues).
+	DFF
+	// CAM is a content-addressable cell with match logic, used for TLBs,
+	// fully associative caches, issue-queue wakeup, and LSQ search.
+	CAM
+	// EDRAM is a 1T1C embedded-DRAM cell: ~3x denser than SRAM with
+	// destructive reads (every read pays a write-back) and a periodic
+	// refresh power floor, used for very large last-level caches.
+	EDRAM
+)
+
+func (c CellType) String() string {
+	switch c {
+	case SRAM:
+		return "SRAM"
+	case DFF:
+		return "DFF"
+	case CAM:
+		return "CAM"
+	case EDRAM:
+		return "EDRAM"
+	}
+	return fmt.Sprintf("CellType(%d)", int(c))
+}
+
+// Objective selects what the optimizer minimizes among configurations
+// that satisfy the timing constraint.
+type Objective int
+
+const (
+	// OptED2 minimizes read-energy x delay^2, McPAT's default balance.
+	OptED2 Objective = iota
+	// OptEnergyDelay minimizes energy x delay.
+	OptEnergyDelay
+	// OptArea minimizes area.
+	OptArea
+	// OptDelay minimizes access time.
+	OptDelay
+)
+
+// Config describes a storage structure to be synthesized.
+type Config struct {
+	Name string
+
+	Tech        *tech.Node
+	Periph      tech.DeviceType // periphery transistors (usually HP)
+	Cell        tech.DeviceType // cell transistors (often LSTP for big caches)
+	LongChannel bool            // use long-channel periphery devices
+
+	// Capacity: either Bytes or (Entries, EntryBits). Exactly one form.
+	Bytes     int
+	Entries   int
+	EntryBits int
+
+	// BlockBits is the number of data bits delivered per access. For
+	// byte-capacity arrays it defaults to 8*BlockBytes=512; for
+	// entry-based arrays it defaults to EntryBits.
+	BlockBits int
+
+	// Assoc: 0 = plain RAM (no tags); >0 = set-associative cache with a
+	// tag array; FullyAssoc replaces the tag array with a CAM.
+	Assoc      int
+	FullyAssoc bool
+	TagBits    int // 0 = derived from a 42-bit physical address
+
+	Banks int // >=1; one bank active per access
+
+	// Ports. A structure must have at least one of RW/Rd ports.
+	RWPorts, RdPorts, WrPorts, SearchPorts int
+
+	CellKind CellType
+
+	// TargetCycle is the required cycle time in seconds (0 = best effort).
+	TargetCycle float64
+	Obj         Objective
+
+	// Sequential forces reading a single way (tag-then-data) for
+	// set-associative arrays; default reads all ways in parallel when
+	// the array is small (<=64KB) and sequentially otherwise.
+	Sequential *bool
+}
+
+// Result is the synthesized array.
+type Result struct {
+	power.PAT
+
+	AccessTime float64 // s
+	CycleTime  float64 // s
+
+	Height, Width float64 // m (total, all banks)
+
+	// Organization of the winning configuration (data array).
+	Rows, Cols, Subarrays, ColMux, Banks int
+
+	// Tag holds the synthesized tag array of a set-associative cache,
+	// nil for plain RAMs. Its PAT is already included in the totals.
+	Tag *Result
+
+	// RefreshPower is the eDRAM refresh floor (W), already included in
+	// Static.Sub; zero for SRAM/DFF/CAM arrays.
+	RefreshPower float64
+}
+
+// validate normalizes the config, returning total bits and output width.
+func (cfg *Config) validate() (totalBits, wordBits int, err error) {
+	if cfg.Tech == nil {
+		return 0, 0, errors.New("array: nil technology node")
+	}
+	switch {
+	case cfg.Bytes > 0 && cfg.Entries > 0:
+		return 0, 0, fmt.Errorf("array %q: specify Bytes or Entries, not both", cfg.Name)
+	case cfg.Bytes > 0:
+		totalBits = cfg.Bytes * 8
+		wordBits = cfg.BlockBits
+		if wordBits == 0 {
+			wordBits = 512
+		}
+	case cfg.Entries > 0:
+		if cfg.EntryBits <= 0 {
+			return 0, 0, fmt.Errorf("array %q: Entries given without EntryBits", cfg.Name)
+		}
+		totalBits = cfg.Entries * cfg.EntryBits
+		wordBits = cfg.BlockBits
+		if wordBits == 0 {
+			wordBits = cfg.EntryBits
+		}
+	default:
+		return 0, 0, fmt.Errorf("array %q: no capacity given", cfg.Name)
+	}
+	if cfg.Banks <= 0 {
+		cfg.Banks = 1
+	}
+	if cfg.RWPorts+cfg.RdPorts == 0 && cfg.WrPorts == 0 {
+		cfg.RWPorts = 1
+	}
+	if totalBits < wordBits {
+		wordBits = totalBits
+	}
+	if cfg.Assoc < 0 {
+		return 0, 0, fmt.Errorf("array %q: negative associativity", cfg.Name)
+	}
+	return totalBits, wordBits, nil
+}
+
+// New synthesizes the array described by cfg.
+func New(cfg Config) (*Result, error) {
+	totalBits, wordBits, err := cfg.validate()
+	if err != nil {
+		return nil, err
+	}
+
+	if cfg.FullyAssoc || cfg.CellKind == CAM {
+		return newCAM(cfg, totalBits, wordBits)
+	}
+	if cfg.CellKind == DFF {
+		return newDFFArray(cfg, totalBits, wordBits)
+	}
+
+	// Set-associative caches: synthesize data and tag separately.
+	if cfg.Assoc > 0 {
+		return newCache(cfg, totalBits, wordBits)
+	}
+	res, err := newRAM(cfg, totalBits, wordBits)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CellKind == EDRAM {
+		applyEDRAM(&cfg, res, totalBits)
+	}
+	return res, nil
+}
+
+// MustNew is New but panics on error, for known-good configurations.
+func MustNew(cfg Config) *Result {
+	r, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ports returns the total cell port count (CAM search ports handled by
+// the CAM model separately).
+func (cfg *Config) ports() int {
+	p := cfg.RWPorts + cfg.RdPorts + cfg.WrPorts
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// cellGeometry returns the width/height of one cell including multiport
+// growth: each port beyond the first adds one wordline track vertically
+// and two bitline tracks horizontally.
+func cellGeometry(n *tech.Node, kind CellType, extraPorts int) (w, h float64) {
+	var area float64
+	switch kind {
+	case CAM:
+		area = n.CAMCellArea
+	case DFF:
+		area = n.DFFCellArea
+	default:
+		area = n.SRAMCellArea
+	}
+	w = math.Sqrt(area / n.SRAMCellAspect)
+	h = n.SRAMCellAspect * w
+	pitch := n.Wire(tech.Aggressive, tech.Local).Pitch
+	w += 2 * pitch * float64(extraPorts)
+	h += pitch * float64(extraPorts)
+	return w, h
+}
+
+// newRAM synthesizes a plain (non-associative) SRAM array.
+func newRAM(cfg Config, totalBits, wordBits int) (*Result, error) {
+	best, err := optimize(cfg, totalBits, wordBits)
+	if err != nil {
+		return nil, err
+	}
+	return best, nil
+}
+
+func objective(cfg *Config, r *Result) float64 {
+	switch cfg.Obj {
+	case OptEnergyDelay:
+		return r.Energy.Read * r.AccessTime
+	case OptArea:
+		return r.Area
+	case OptDelay:
+		return r.AccessTime
+	default:
+		return r.Energy.Read * r.AccessTime * r.AccessTime
+	}
+}
+
+// optimize enumerates subarray organizations and returns the best feasible
+// one. If nothing meets the timing target, the fastest configuration is
+// returned with its (longer) actual cycle time, mirroring McPAT's warning
+// behavior rather than failing hard.
+func optimize(cfg Config, totalBits, wordBits int) (*Result, error) {
+	var best *Result
+	var bestObj float64
+	var fastest *Result
+
+	for rows := 16; rows <= 1024; rows *= 2 {
+		for colMux := 1; colMux <= 32; colMux *= 2 {
+			for _, subWord := range subWordChoices(wordBits) {
+				cols := subWord * colMux
+				if cols < 16 || cols > 8192 {
+					continue
+				}
+				r, ok := evalSRAM(&cfg, totalBits, wordBits, rows, cols, colMux)
+				if !ok {
+					continue
+				}
+				if fastest == nil || r.AccessTime < fastest.AccessTime {
+					cp := r
+					fastest = &cp
+				}
+				if cfg.TargetCycle > 0 && r.CycleTime > cfg.TargetCycle {
+					continue
+				}
+				o := objective(&cfg, &r)
+				if best == nil || o < bestObj {
+					cp := r
+					best, bestObj = &cp, o
+				}
+			}
+		}
+	}
+	if best == nil {
+		if fastest == nil {
+			return nil, fmt.Errorf("array %q: no feasible organization for %d bits", cfg.Name, totalBits)
+		}
+		best = fastest
+	}
+	return best, nil
+}
+
+// subWordChoices yields the per-subarray output widths to consider: the
+// full word and power-of-two fractions of it (the word is then spread
+// across several active subarrays).
+func subWordChoices(wordBits int) []int {
+	choices := []int{wordBits}
+	for d := 2; d <= 8; d *= 2 {
+		if wordBits%d == 0 && wordBits/d >= 8 {
+			choices = append(choices, wordBits/d)
+		}
+	}
+	// Also allow wider subarrays than the word for very small words.
+	for m := 2; m <= 4; m *= 2 {
+		choices = append(choices, wordBits*m)
+	}
+	return choices
+}
+
+// evalSRAM computes PAT for one organization of a plain SRAM array.
+// cols = subWord*colMux columns per subarray; subWord bits leave each
+// active subarray per access.
+func evalSRAM(cfg *Config, totalBits, wordBits, rows, cols, colMux int) (Result, bool) {
+	n := cfg.Tech
+	per := circuit.NewCtx(n, cfg.Periph, cfg.LongChannel)
+	cellDev := n.Device(cfg.Cell, false)
+
+	bankBits := (totalBits + cfg.Banks - 1) / cfg.Banks
+	bitsPerSub := rows * cols
+	subarrays := (bankBits + bitsPerSub - 1) / bitsPerSub
+	if subarrays < 1 {
+		return Result{}, false
+	}
+	subWord := cols / colMux
+	activeSubs := (wordBits + subWord - 1) / subWord
+	if activeSubs > subarrays {
+		return Result{}, false
+	}
+	// Keep silly organizations out: don't allow more than 4x
+	// over-provisioned cells.
+	if float64(subarrays*bitsPerSub) > 4*float64(bankBits) {
+		return Result{}, false
+	}
+
+	ports := cfg.ports()
+	cellW, cellH := cellGeometry(n, SRAM, ports-1)
+	localWire := n.Wire(tech.Aggressive, tech.Local)
+	semiWire := n.Wire(tech.Aggressive, tech.SemiGlobal)
+
+	f := n.Feature
+	wmin := n.MinWidthN()
+
+	// --- Wordline ---------------------------------------------------
+	accessW := 1.3 * f // access transistor width
+	cWL := float64(cols)*(2*accessW*per.Dev.CgPerW) + float64(cols)*cellW*localWire.CapPerM
+	wlChain := per.BufferChain(cWL)
+	// Distributed RC of the wordline itself: 0.69 * R_total * C_total/2.
+	wlWireDelay := 0.69 * (localWire.ResPerM * float64(cols) * cellW) * cWL / 2
+	tWordline := wlChain.Delay + wlWireDelay
+
+	// --- Decoder ----------------------------------------------------
+	addrBits := ceilLog2(rows)
+	// Predecode + final decode: ~2 + log4(rows) logic levels of FO4.
+	tDecode := (2 + float64(addrBits)/2) * per.FO4()
+	// Energy: predecoders plus one fired row driver; approximated as a
+	// wire spanning the subarray height plus gate loads.
+	cDecode := float64(rows)*0.5*wmin*per.Dev.CgPerW + float64(rows)*cellH*localWire.CapPerM*0.5
+	eDecode := per.SwitchE(cDecode) + wlChain.Energy
+
+	// --- Bitline ----------------------------------------------------
+	cBLcell := accessW * per.Dev.CjPerW // drain of one access device
+	cBL := float64(rows)*cBLcell + float64(rows)*cellH*localWire.CapPerM
+	vSwing := 0.15 * per.Vdd()
+	iCell := 0.5 * cellDev.IonN * (2 * f) // read current of pull-down path
+	tBitline := cBL * vSwing / math.Max(iCell, 1e-12)
+	// Read energy: all columns of active subarrays swing by vSwing.
+	eBitlineRead := float64(cols) * cBL * per.Vdd() * vSwing
+	// Write: full differential swing on written columns only.
+	eBitlineWrite := float64(subWord) * cBL * per.Vdd() * per.Vdd() * 2 * 0.5
+
+	// --- Sense amps + column mux -------------------------------------
+	tSense := 2 * per.FO4()
+	cSA := 10 * wmin * per.Dev.CgPerW
+	eSense := float64(subWord) * per.FullSwingE(cSA)
+	tMux := float64(ceilLog2(colMux)) * 0.5 * per.FO4()
+
+	// --- Subarray and bank geometry ----------------------------------
+	subW := float64(cols)*cellW + 40*f + float64(addrBits)*8*f // row decoder strip
+	subH := float64(rows)*cellH + 60*f                         // sense amp + write driver strip
+	subArea := subW * subH
+	// Real memory macros land near 45% array efficiency once ECC bits,
+	// row/column redundancy, BIST, and inter-subarray routing channels
+	// are accounted for; arrayOverhead calibrates modeled macro area to
+	// published cache footprints (e.g. Niagara's 3MB L2 at ~90 mm^2).
+	const arrayOverhead = 2.2
+	bankArea := float64(subarrays) * subArea * arrayOverhead
+	bankW := math.Sqrt(bankArea)
+	bankH := bankArea / bankW
+
+	// --- H-tree within the bank --------------------------------------
+	htreeLen := 0.5 * (bankW + bankH)
+	htreeIn := per.RepeatedWire(semiWire, htreeLen)
+	addrInBits := float64(ceilLog2(maxInt(2, bankBits/wordBits)))
+	eHtree := (float64(wordBits) + addrInBits) * htreeIn.EnergyPerBit
+	tHtree := htreeIn.Delay
+
+	// --- Inter-bank routing -------------------------------------------
+	var eBankRoute, tBankRoute float64
+	var bankRouteLeakSub, bankRouteLeakGate, bankRouteArea float64
+	if cfg.Banks > 1 {
+		chipSide := math.Sqrt(bankArea * float64(cfg.Banks))
+		route := per.RepeatedWire(n.Wire(tech.Aggressive, tech.Global), 0.5*chipSide)
+		eBankRoute = (float64(wordBits) + addrInBits) * route.EnergyPerBit
+		tBankRoute = route.Delay
+		bankRouteLeakSub = route.SubLeak * (float64(wordBits) + addrInBits)
+		bankRouteLeakGate = route.GateLeak * (float64(wordBits) + addrInBits)
+		bankRouteArea = route.Area * (float64(wordBits) + addrInBits)
+	}
+
+	access := tHtree + tDecode + tWordline + tBitline + tSense + tMux + tHtree + tBankRoute
+	// Cycle limited by decode+read+precharge of one subarray.
+	cycle := tDecode + tWordline + tBitline + tSense + tBitline*0.8
+	if mn := 6 * per.FO4(); cycle < mn {
+		cycle = mn
+	}
+
+	// --- Energy totals per access -------------------------------------
+	a := float64(activeSubs)
+	eRead := a*(eDecode+eBitlineRead+eSense) + eHtree + eBankRoute
+	eWrite := a*(eDecode+eBitlineWrite) + eHtree + eBankRoute
+
+	// --- Leakage -------------------------------------------------------
+	allBits := float64(cfg.Banks) * float64(subarrays) * float64(bitsPerSub)
+	cellLeakSub := cellDev.Ioff(n.SRAMCellNMOSWidth, n.SRAMCellPMOSWidth, n.Temperature) * cellDev.Vdd * allBits
+	cellLeakGate := cellDev.Ig(n.SRAMCellNMOSWidth+n.SRAMCellPMOSWidth) * cellDev.Vdd * allBits
+	// Periphery: one wordline driver per row, sense amps and write
+	// drivers per column, decoders.
+	periphW := float64(rows)*4*wmin + float64(cols)*8*wmin + float64(addrBits)*20*wmin
+	periphW *= float64(subarrays * cfg.Banks)
+	periphLeakSub := per.Dev.Ioff(periphW, periphW, n.Temperature) * per.Vdd()
+	periphLeakGate := per.Dev.Ig(2*periphW) * per.Vdd()
+
+	totalArea := bankArea*float64(cfg.Banks) + bankRouteArea
+
+	res := Result{
+		PAT: power.PAT{
+			Energy: power.Energy{Read: eRead, Write: eWrite},
+			Static: power.Static{
+				Sub:  cellLeakSub + periphLeakSub + htreeIn.SubLeak + bankRouteLeakSub,
+				Gate: cellLeakGate + periphLeakGate + htreeIn.GateLeak + bankRouteLeakGate,
+			},
+			Area:  totalArea,
+			Delay: access,
+			Cycle: cycle,
+		},
+		AccessTime: access,
+		CycleTime:  cycle,
+		Height:     bankH * math.Sqrt(float64(cfg.Banks)),
+		Width:      bankW * math.Sqrt(float64(cfg.Banks)),
+		Rows:       rows,
+		Cols:       cols,
+		Subarrays:  subarrays,
+		ColMux:     colMux,
+		Banks:      cfg.Banks,
+	}
+	return res, true
+}
+
+func ceilLog2(x int) int {
+	if x <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(x))))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,364 @@
+package array
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mcpat/internal/tech"
+)
+
+func l1Cfg(bytes int) Config {
+	return Config{
+		Name:      "l1",
+		Tech:      tech.MustByFeature(90),
+		Periph:    tech.HP,
+		Cell:      tech.HP,
+		Bytes:     bytes,
+		BlockBits: 64 * 8,
+		Assoc:     4,
+		RWPorts:   1,
+	}
+}
+
+func TestL1CachePlausible(t *testing.T) {
+	r, err := New(l1Cfg(32 * 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("32KB 4-way L1 @90nm: area=%.3f mm^2 access=%.2f ns Eread=%.1f pJ leak=%.3f W",
+		r.Area*1e6, r.AccessTime*1e9, r.Energy.Read*1e12, r.Static.Total())
+	if mm2 := r.Area * 1e6; mm2 < 0.3 || mm2 > 6 {
+		t.Errorf("area = %.3f mm^2, want 0.3-6", mm2)
+	}
+	if ns := r.AccessTime * 1e9; ns < 0.2 || ns > 3 {
+		t.Errorf("access = %.3f ns, want 0.2-3", ns)
+	}
+	if pj := r.Energy.Read * 1e12; pj < 10 || pj > 800 {
+		t.Errorf("read energy = %.1f pJ, want 10-800", pj)
+	}
+	if r.Tag == nil {
+		t.Error("set-associative cache must have a tag array")
+	}
+	if r.Static.Total() <= 0 {
+		t.Error("leakage must be positive")
+	}
+}
+
+func TestL2CachePlausible(t *testing.T) {
+	cfg := Config{
+		Name:      "l2",
+		Tech:      tech.MustByFeature(90),
+		Periph:    tech.HP,
+		Cell:      tech.HP,
+		Bytes:     3 * 1024 * 1024,
+		BlockBits: 64 * 8,
+		Assoc:     12,
+		RWPorts:   1,
+		Banks:     4,
+	}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("3MB 12-way L2 @90nm 4 banks: area=%.1f mm^2 access=%.2f ns Eread=%.1f pJ leak=%.2f W",
+		r.Area*1e6, r.AccessTime*1e9, r.Energy.Read*1e12, r.Static.Total())
+	if mm2 := r.Area * 1e6; mm2 < 25 || mm2 > 160 {
+		t.Errorf("area = %.1f mm^2, want 25-160 (Niagara's 3MB L2 is ~100)", mm2)
+	}
+	if ns := r.AccessTime * 1e9; ns < 1 || ns > 15 {
+		t.Errorf("access = %.2f ns, want 1-15", ns)
+	}
+	if w := r.Static.Total(); w < 0.3 || w > 12 {
+		t.Errorf("leakage = %.2f W, want 0.3-12 for HP cells at 360K", w)
+	}
+}
+
+func TestCacheAreaMonotoneInCapacity(t *testing.T) {
+	prev := 0.0
+	for _, kb := range []int{8, 16, 32, 64, 128} {
+		r := MustNew(l1Cfg(kb * 1024))
+		if r.Area <= prev {
+			t.Errorf("%dKB cache area %.3g not larger than previous", kb, r.Area)
+		}
+		prev = r.Area
+	}
+}
+
+func TestCacheEnergyGrowsWithCapacity(t *testing.T) {
+	small := MustNew(l1Cfg(8 * 1024))
+	big := MustNew(l1Cfg(256 * 1024))
+	if big.Energy.Read <= small.Energy.Read {
+		t.Errorf("256KB read energy (%.3g) should exceed 8KB (%.3g)", big.Energy.Read, small.Energy.Read)
+	}
+	if big.AccessTime <= small.AccessTime {
+		t.Errorf("256KB access (%.3g) should be slower than 8KB (%.3g)", big.AccessTime, small.AccessTime)
+	}
+}
+
+func TestTechnologyScalingShrinksArrays(t *testing.T) {
+	mk := func(nm float64) *Result {
+		cfg := l1Cfg(32 * 1024)
+		cfg.Tech = tech.MustByFeature(nm)
+		return MustNew(cfg)
+	}
+	a90, a45 := mk(90), mk(45)
+	ratio := a90.Area / a45.Area
+	if ratio < 2.5 || ratio > 6 {
+		t.Errorf("90->45nm area ratio = %.2f, want ~4", ratio)
+	}
+	if a45.Energy.Read >= a90.Energy.Read {
+		t.Error("scaling should reduce read energy")
+	}
+}
+
+func TestTimingConstraintRespected(t *testing.T) {
+	cfg := l1Cfg(64 * 1024)
+	cfg.TargetCycle = 1e-9 // 1 GHz
+	r := MustNew(cfg)
+	if r.CycleTime > cfg.TargetCycle*1.001 {
+		t.Errorf("optimizer returned cycle %.3g ns > target 1 ns", r.CycleTime*1e9)
+	}
+	// A much tighter (unreachable) constraint falls back to the fastest
+	// configuration instead of failing.
+	cfg.TargetCycle = 1e-12
+	r2 := MustNew(cfg)
+	if r2.CycleTime <= 0 {
+		t.Error("fallback config must still be valid")
+	}
+}
+
+func TestObjectiveTradeoffs(t *testing.T) {
+	base := l1Cfg(128 * 1024)
+	base.Obj = OptDelay
+	fast := MustNew(base)
+	base.Obj = OptArea
+	small := MustNew(base)
+	if fast.AccessTime > small.AccessTime {
+		t.Errorf("delay-optimized (%.3g) slower than area-optimized (%.3g)", fast.AccessTime, small.AccessTime)
+	}
+	if small.Area > fast.Area*1.001 {
+		t.Errorf("area-optimized (%.3g) larger than delay-optimized (%.3g)", small.Area, fast.Area)
+	}
+}
+
+func TestRegisterFile(t *testing.T) {
+	cfg := Config{
+		Name:      "intRF",
+		Tech:      tech.MustByFeature(90),
+		Periph:    tech.HP,
+		Cell:      tech.HP,
+		Entries:   128,
+		EntryBits: 64,
+		RdPorts:   4,
+		WrPorts:   2,
+	}
+	r := MustNew(cfg)
+	t.Logf("128x64b RF 4r2w @90nm: area=%.4f mm^2 access=%.3f ns Eread=%.2f pJ",
+		r.Area*1e6, r.AccessTime*1e9, r.Energy.Read*1e12)
+	if mm2 := r.Area * 1e6; mm2 < 0.005 || mm2 > 0.8 {
+		t.Errorf("RF area = %.4f mm^2, implausible", mm2)
+	}
+	if pj := r.Energy.Read * 1e12; pj < 0.2 || pj > 60 {
+		t.Errorf("RF read = %.2f pJ, implausible", pj)
+	}
+	// More ports must cost area.
+	cfg.RdPorts = 8
+	cfg.WrPorts = 4
+	wide := MustNew(cfg)
+	if wide.Area <= r.Area {
+		t.Error("extra ports must grow area")
+	}
+}
+
+func TestCAMTLB(t *testing.T) {
+	cfg := Config{
+		Name:        "dtlb",
+		Tech:        tech.MustByFeature(90),
+		Periph:      tech.HP,
+		Cell:        tech.HP,
+		Entries:     64,
+		EntryBits:   28, // PPN + flags payload
+		TagBits:     45,
+		CellKind:    CAM,
+		SearchPorts: 2,
+		RWPorts:     1,
+	}
+	r := MustNew(cfg)
+	t.Logf("64-entry TLB CAM: area=%.4f mm^2 search=%.2f pJ tsearch=%.3f ns",
+		r.Area*1e6, r.Energy.Search*1e12, r.AccessTime*1e9)
+	if r.Energy.Search <= 0 {
+		t.Fatal("CAM must report search energy")
+	}
+	if r.Energy.Search <= r.Energy.Read {
+		t.Error("CAM search should cost more than a payload read")
+	}
+	if mm2 := r.Area * 1e6; mm2 < 0.001 || mm2 > 0.5 {
+		t.Errorf("TLB area = %.4f mm^2, implausible", mm2)
+	}
+	// Search energy grows with entry count.
+	cfg.Entries = 512
+	big := MustNew(cfg)
+	if big.Energy.Search <= r.Energy.Search {
+		t.Error("larger CAM must have larger search energy")
+	}
+}
+
+func TestDFFArray(t *testing.T) {
+	cfg := Config{
+		Name:      "fetchbuf",
+		Tech:      tech.MustByFeature(65),
+		Periph:    tech.HP,
+		Cell:      tech.HP,
+		Entries:   16,
+		EntryBits: 128,
+		CellKind:  DFF,
+		RdPorts:   2,
+		WrPorts:   2,
+	}
+	r := MustNew(cfg)
+	if r.Energy.Read <= 0 || r.Energy.Write <= 0 || r.Area <= 0 {
+		t.Fatalf("invalid DFF array result: %+v", r.PAT)
+	}
+	// DFF storage is much less dense than SRAM.
+	sram := MustNew(Config{
+		Name: "sram-equiv", Tech: cfg.Tech, Periph: tech.HP, Cell: tech.HP,
+		Entries: 64, EntryBits: 128, RdPorts: 2, WrPorts: 2,
+	})
+	dffPerBit := r.Area / float64(16*128)
+	sramPerBit := sram.Area / float64(64*128)
+	if dffPerBit <= sramPerBit {
+		t.Errorf("DFF per-bit area (%.3g) should exceed SRAM per-bit (%.3g)", dffPerBit, sramPerBit)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	n := tech.MustByFeature(90)
+	cases := []Config{
+		{},        // no tech
+		{Tech: n}, // no capacity
+		{Tech: n, Bytes: 64, Entries: 4, EntryBits: 8}, // both forms
+		{Tech: n, Entries: 8},                          // entries without bits
+		{Tech: n, Bytes: 1024, Assoc: -1},
+	}
+	for i, c := range cases {
+		if _, err := New(c); err == nil {
+			t.Errorf("case %d: expected error, got nil", i)
+		}
+	}
+}
+
+func TestBankingReducesCycleTime(t *testing.T) {
+	mk := func(banks int) *Result {
+		cfg := Config{
+			Name: "big", Tech: tech.MustByFeature(65), Periph: tech.HP, Cell: tech.HP,
+			Bytes: 4 * 1024 * 1024, BlockBits: 512, Banks: banks,
+		}
+		return MustNew(cfg)
+	}
+	one, eight := mk(1), mk(8)
+	if eight.CycleTime >= one.CycleTime {
+		t.Errorf("8-bank cycle (%.3g) should beat 1-bank (%.3g)", eight.CycleTime, one.CycleTime)
+	}
+}
+
+func TestSequentialVsParallelAccess(t *testing.T) {
+	cfg := l1Cfg(32 * 1024)
+	seq := true
+	cfg.Sequential = &seq
+	s := MustNew(cfg)
+	par := false
+	cfg.Sequential = &par
+	p := MustNew(cfg)
+	if p.AccessTime >= s.AccessTime {
+		t.Errorf("parallel access (%.3g) should be faster than sequential (%.3g)", p.AccessTime, s.AccessTime)
+	}
+	if p.Energy.Read <= s.Energy.Read {
+		t.Errorf("parallel access (%.3g J) should burn more than sequential (%.3g J)", p.Energy.Read, s.Energy.Read)
+	}
+}
+
+func TestQuickArrayInvariants(t *testing.T) {
+	n := tech.MustByFeature(45)
+	f := func(kbExp, assocExp uint8) bool {
+		kb := 4 << (kbExp % 7)       // 4..256 KB
+		assoc := 1 << (assocExp % 4) // 1..8
+		r, err := New(Config{
+			Name: "q", Tech: n, Periph: tech.HP, Cell: tech.HP,
+			Bytes: kb * 1024, BlockBits: 512, Assoc: assoc,
+		})
+		if err != nil {
+			return false
+		}
+		return r.Area > 0 && r.AccessTime > 0 && r.CycleTime > 0 &&
+			r.Energy.Read > 0 && r.Energy.Write > 0 &&
+			r.Static.Sub > 0 && r.Static.Gate > 0 &&
+			!math.IsNaN(r.Energy.Read) && !math.IsInf(r.Area, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEDRAMCharacteristics(t *testing.T) {
+	n := tech.MustByFeature(32)
+	mk := func(kind CellType) *Result {
+		return MustNew(Config{
+			Name: "llc-slice", Tech: n, Periph: tech.HP, Cell: tech.LSTP,
+			Bytes: 8 * 1024 * 1024, BlockBits: 512, CellKind: kind,
+		})
+	}
+	sram := mk(SRAM)
+	edram := mk(EDRAM)
+	t.Logf("8MB @32nm: SRAM %.1f mm^2 / %.2f ns | eDRAM %.1f mm^2 / %.2f ns / refresh %.3f W",
+		sram.Area*1e6, sram.AccessTime*1e9, edram.Area*1e6, edram.AccessTime*1e9, edram.RefreshPower)
+	if edram.Area >= sram.Area*0.7 {
+		t.Errorf("eDRAM (%.3g) must be much denser than SRAM (%.3g)", edram.Area, sram.Area)
+	}
+	if edram.AccessTime <= sram.AccessTime {
+		t.Error("eDRAM must be slower than SRAM")
+	}
+	if edram.RefreshPower <= 0 {
+		t.Error("eDRAM must report refresh power")
+	}
+	if edram.Energy.Read <= sram.Energy.Read {
+		t.Error("destructive reads must cost more energy")
+	}
+	if sram.RefreshPower != 0 {
+		t.Error("SRAM must not report refresh power")
+	}
+}
+
+func TestEDRAMRefreshScalesWithCapacity(t *testing.T) {
+	n := tech.MustByFeature(32)
+	mk := func(mb int) *Result {
+		return MustNew(Config{
+			Name: "e", Tech: n, Periph: tech.HP, Cell: tech.LSTP,
+			Bytes: mb * 1024 * 1024, BlockBits: 512, CellKind: EDRAM,
+		})
+	}
+	r1, r4 := mk(2), mk(8)
+	ratio := r4.RefreshPower / r1.RefreshPower
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("refresh power should scale ~linearly with capacity, got %.2fx for 4x", ratio)
+	}
+}
+
+func TestEDRAMAssociativeCache(t *testing.T) {
+	n := tech.MustByFeature(32)
+	r := MustNew(Config{
+		Name: "l3", Tech: n, Periph: tech.HP, Cell: tech.LSTP,
+		Bytes: 16 * 1024 * 1024, BlockBits: 512, Assoc: 16, Banks: 4,
+		CellKind: EDRAM,
+	})
+	if r.Tag == nil {
+		t.Fatal("associative eDRAM cache needs tags")
+	}
+	sram := MustNew(Config{
+		Name: "l3s", Tech: n, Periph: tech.HP, Cell: tech.LSTP,
+		Bytes: 16 * 1024 * 1024, BlockBits: 512, Assoc: 16, Banks: 4,
+	})
+	if r.Area >= sram.Area {
+		t.Error("eDRAM cache must be smaller than SRAM cache")
+	}
+}

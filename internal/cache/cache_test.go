@@ -1,0 +1,126 @@
+package cache
+
+import (
+	"testing"
+
+	"mcpat/internal/tech"
+)
+
+func l2cfg() Config {
+	return Config{
+		Name: "l2", Tech: tech.MustByFeature(65), Dev: tech.HP,
+		Bytes: 2 * 1024 * 1024, BlockBytes: 64, Assoc: 8, Banks: 4,
+		TargetHz: 2e9,
+	}
+}
+
+func TestSharedCacheBasics(t *testing.T) {
+	c, err := New(l2cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Data == nil || c.MSHR == nil || c.WBBuffer == nil {
+		t.Fatal("missing subcomponents")
+	}
+	if c.Directory != nil {
+		t.Fatal("directory not requested but present")
+	}
+	if c.Area <= c.Data.Area {
+		t.Error("total area must include MSHR and WB buffer")
+	}
+	if c.Energy.Read <= c.Data.Energy.Read {
+		t.Error("access energy must include the MSHR probe")
+	}
+	if c.AccessTime() != c.Data.AccessTime {
+		t.Error("AccessTime must expose the data array latency")
+	}
+}
+
+func TestDirectoryAddsCost(t *testing.T) {
+	base, _ := New(l2cfg())
+	cfg := l2cfg()
+	cfg.Directory = true
+	cfg.Sharers = 16
+	dir, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dir.Directory == nil {
+		t.Fatal("directory missing")
+	}
+	if dir.Area <= base.Area || dir.Energy.Read <= base.Energy.Read {
+		t.Error("directory must add area and access energy")
+	}
+}
+
+func TestLSTPCellsForLargeCaches(t *testing.T) {
+	big, err := New(l2cfg()) // 2MB -> LSTP cells by default
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := l2cfg()
+	cfg.CellHP = true
+	hp, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Static.Sub >= hp.Static.Sub*0.5 {
+		t.Errorf("default LSTP cells (%.3g W) must leak far less than forced HP cells (%.3g W)",
+			big.Static.Sub, hp.Static.Sub)
+	}
+	small := l2cfg()
+	small.Bytes = 256 * 1024
+	sc, err := New(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Cfg().CellDev != tech.HP {
+		t.Error("small caches should keep HP cells by default")
+	}
+	if big.Cfg().CellDev != tech.LSTP {
+		t.Error("multi-MB caches should default to LSTP cells")
+	}
+}
+
+func TestECCOverhead(t *testing.T) {
+	// The synthesized data array carries 9/8 of the nominal capacity.
+	c, err := New(l2cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nominalBits := 2 * 1024 * 1024 * 8
+	gotBits := c.Data.Rows * c.Data.Cols * c.Data.Subarrays * c.Data.Banks
+	if gotBits < nominalBits*9/8 {
+		t.Errorf("data array holds %d bits, want at least %d (ECC)", gotBits, nominalBits*9/8)
+	}
+}
+
+func TestReportTree(t *testing.T) {
+	cfg := l2cfg()
+	cfg.Directory = true
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Report(2e9, 1e9, 1e8, 5e7)
+	for _, name := range []string{"data", "mshr", "wbbuffer", "directory"} {
+		if rep.Find(name) == nil {
+			t.Errorf("report missing %s", name)
+		}
+	}
+	if rep.PeakDynamic <= 0 || rep.RuntimeDynamic <= 0 {
+		t.Error("report must have both power columns")
+	}
+	if rep.RuntimeDynamic >= rep.PeakDynamic {
+		t.Error("runtime below peak for these rates")
+	}
+}
+
+func TestCacheValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil tech must fail")
+	}
+	if _, err := New(Config{Tech: tech.MustByFeature(65)}); err == nil {
+		t.Error("zero capacity must fail")
+	}
+}

@@ -1,0 +1,447 @@
+// Package chip assembles McPAT's full multicore processor model: cores,
+// shared cache levels, the on-chip interconnect (shared bus, flat
+// crossbar, or 2D-mesh NoC), memory controllers, I/O controllers (NIU,
+// PCIe), and the chip-wide clock network, producing hierarchical
+// power/area reports for both TDP (peak) and runtime conditions.
+package chip
+
+import (
+	"fmt"
+	"math"
+
+	"mcpat/internal/cache"
+	"mcpat/internal/clock"
+	"mcpat/internal/core"
+	"mcpat/internal/interconnect"
+	"mcpat/internal/logic"
+	"mcpat/internal/mc"
+	"mcpat/internal/power"
+	"mcpat/internal/tech"
+)
+
+// InterconnectKind selects the chip-level fabric.
+type InterconnectKind int
+
+const (
+	// NoneIC means cores connect to the shared cache directly (single
+	// core or private hierarchies).
+	NoneIC InterconnectKind = iota
+	// Bus is a shared multi-drop bus.
+	Bus
+	// Crossbar is a flat crossbar (Niagara PCX/CPX style).
+	Crossbar
+	// Mesh is a 2D-mesh NoC with one router per core/tile.
+	Mesh
+	// Ring is a unidirectional ring of 3-port routers, one station per
+	// core plus one per L2 bank.
+	Ring
+)
+
+func (k InterconnectKind) String() string {
+	switch k {
+	case NoneIC:
+		return "none"
+	case Bus:
+		return "bus"
+	case Crossbar:
+		return "crossbar"
+	case Mesh:
+		return "mesh"
+	case Ring:
+		return "ring"
+	}
+	return fmt.Sprintf("InterconnectKind(%d)", int(k))
+}
+
+// NoCSpec configures the chip fabric.
+type NoCSpec struct {
+	Kind            InterconnectKind
+	FlitBits        int // link/bus width
+	MeshX, MeshY    int // mesh topology (Kind == Mesh)
+	VirtualChannels int
+	BuffersPerVC    int
+
+	// ClusterSize groups cores into clusters of this many cores; each
+	// cluster shares one local bus (to its L2 slice) and one mesh
+	// router, so MeshX*MeshY should equal NumCores/ClusterSize. 0 or 1
+	// means one router per core with no local bus - the hierarchical
+	// interconnect organization of the manycore case study.
+	ClusterSize int
+}
+
+// Config describes a full processor chip.
+type Config struct {
+	Name string
+
+	NM          float64 // feature size in nanometers
+	Dev         tech.DeviceType
+	LongChannel bool
+	Temperature float64 // K; 0 keeps the node default (360 K)
+	ClockHz     float64
+	Vdd         float64 // V; 0 keeps the roadmap voltage of the device class
+
+	// WireProjection selects the interconnect scaling assumption for the
+	// chip-level fabric links (aggressive by default, the McPAT input).
+	WireProjection tech.Projection
+
+	NumCores int
+	Core     core.Config // template; Tech/Dev/Clock are filled in
+
+	// CorePeak optionally overrides the TDP activity vector used for the
+	// cores (validation descriptors use this to reproduce vendor TDP
+	// conditions).
+	CorePeak *core.Activity
+
+	L2 *cache.Config // shared L2 (nil = none); Tech/TargetHz filled in
+	L3 *cache.Config
+
+	// L2PeakDuty is the TDP access rate per L2 bank in accesses/cycle
+	// (default 0.8); likewise for L3 (default 0.4).
+	L2PeakDuty float64
+	L3PeakDuty float64
+
+	// SharedFPUs adds chip-level floating point units outside the cores
+	// (Niagara's single shared FPU).
+	SharedFPUs int
+
+	NoC NoCSpec
+
+	MC   *mc.Config
+	NIU  *mc.NIUConfig
+	PCIe *mc.PCIeConfig
+
+	// MCPeakUtil is the TDP utilization of the memory interface
+	// bandwidth (default 0.8); I/O controllers run at full rate at TDP.
+	MCPeakUtil float64
+
+	// ClockGating is the fraction of the clock network active at TDP
+	// (default 0.75).
+	ClockGating float64
+
+	// ClockSinkMult scales the clock-load density estimate (default 1).
+	// Grid-clocked designs (Alpha EV6/EV7 class) run 2-3x the H-tree
+	// baseline.
+	ClockSinkMult float64
+
+	// OtherArea accounts for known-but-unmodeled blocks (test logic,
+	// fuses, analog, I/O pad ring beyond the modeled controllers), in
+	// m^2. Validation descriptors set it from die photos; it carries no
+	// power.
+	OtherArea float64
+}
+
+// Stats carries runtime statistics from a performance simulator.
+type Stats struct {
+	// CoreRun is the average per-core activity vector (events/cycle).
+	CoreRun core.Activity
+
+	// Shared cache accesses per second, chip-wide.
+	L2Reads, L2Writes float64
+	L3Reads, L3Writes float64
+
+	// NoCFlits is flits/s per router for meshes, or transfers/s for
+	// bus/crossbar fabrics.
+	NoCFlits float64
+
+	// ClusterBusTransfers is transfers/s per intra-cluster bus (clustered
+	// mesh fabrics only).
+	ClusterBusTransfers float64
+
+	// MCAccesses is 64-byte memory transactions per second.
+	MCAccesses float64
+
+	NIUBitsPerSec  float64
+	PCIeBitsPerSec float64
+
+	// FPOpsPerSec drives the shared FPUs.
+	FPOpsPerSec float64
+}
+
+// Processor is a synthesized chip.
+type Processor struct {
+	Cfg  Config
+	Tech *tech.Node
+
+	CoreModel *core.Core
+	L2, L3    *cache.Cache
+
+	router     *interconnect.Router
+	link       *interconnect.Link // mesh link, bus, or crossbar
+	clusterBus *interconnect.Link // intra-cluster bus (clustered meshes)
+	fpu        power.PAT
+	mcCtl      *mc.Controller
+	niu        *power.PAT
+	pcie       *power.PAT
+	clk        *clock.Network
+
+	corePeak core.Activity
+	baseArea float64 // component area before top-level overheads
+}
+
+// New synthesizes the processor.
+func New(cfg Config) (*Processor, error) {
+	if cfg.NumCores <= 0 {
+		return nil, fmt.Errorf("chip %q: NumCores must be positive", cfg.Name)
+	}
+	if cfg.ClockHz <= 0 {
+		return nil, fmt.Errorf("chip %q: clock frequency required", cfg.Name)
+	}
+	node, err := tech.ByFeature(cfg.NM)
+	if err != nil {
+		return nil, fmt.Errorf("chip %q: %w", cfg.Name, err)
+	}
+	if cfg.Temperature > 0 {
+		node.Temperature = cfg.Temperature
+	}
+	if cfg.Vdd > 0 {
+		node.OverrideVdd(cfg.Dev, cfg.Vdd)
+	}
+	if cfg.L2PeakDuty <= 0 {
+		cfg.L2PeakDuty = 1.0
+	}
+	if cfg.L3PeakDuty <= 0 {
+		cfg.L3PeakDuty = 0.4
+	}
+	if cfg.MCPeakUtil <= 0 {
+		cfg.MCPeakUtil = 0.8
+	}
+	if cfg.ClockGating <= 0 {
+		cfg.ClockGating = 0.75
+	}
+
+	p := &Processor{Cfg: cfg, Tech: node}
+
+	// ---- Core -----------------------------------------------------------
+	ccfg := cfg.Core
+	ccfg.Tech = node
+	ccfg.Dev = cfg.Dev
+	ccfg.LongChannel = cfg.LongChannel
+	ccfg.ClockHz = cfg.ClockHz
+	if ccfg.Name == "" {
+		ccfg.Name = "core"
+	}
+	if p.CoreModel, err = core.New(ccfg); err != nil {
+		return nil, err
+	}
+	if cfg.CorePeak != nil {
+		p.corePeak = *cfg.CorePeak
+	} else {
+		p.corePeak = core.PeakActivity(ccfg)
+	}
+
+	// ---- Shared caches ---------------------------------------------------
+	mkCache := func(cc *cache.Config) (*cache.Cache, error) {
+		if cc == nil {
+			return nil, nil
+		}
+		c := *cc
+		c.Tech = node
+		c.Dev = cfg.Dev
+		if c.CellDev == 0 && cfg.Dev != tech.HP {
+			c.CellDev = cfg.Dev
+		}
+		c.LongChannel = cfg.LongChannel
+		if c.TargetHz == 0 {
+			c.TargetHz = cfg.ClockHz
+		}
+		return cache.New(c)
+	}
+	if p.L2, err = mkCache(cfg.L2); err != nil {
+		return nil, err
+	}
+	if p.L3, err = mkCache(cfg.L3); err != nil {
+		return nil, err
+	}
+
+	// ---- Shared FPUs ------------------------------------------------------
+	if cfg.SharedFPUs > 0 {
+		p.fpu = logic.FunctionalUnit(node, cfg.Dev, cfg.LongChannel, logic.FPU)
+	}
+
+	// ---- Off-chip interfaces ----------------------------------------------
+	if cfg.MC != nil {
+		m := *cfg.MC
+		m.Tech = node
+		m.Dev = cfg.Dev
+		m.LongChannel = cfg.LongChannel
+		if p.mcCtl, err = mc.New(m); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.NIU != nil {
+		n := *cfg.NIU
+		n.Tech = node
+		n.Dev = cfg.Dev
+		n.LongChannel = cfg.LongChannel
+		pat, err := mc.NewNIU(n)
+		if err != nil {
+			return nil, err
+		}
+		p.niu = &pat
+	}
+	if cfg.PCIe != nil {
+		n := *cfg.PCIe
+		n.Tech = node
+		n.Dev = cfg.Dev
+		n.LongChannel = cfg.LongChannel
+		pat, err := mc.NewPCIe(n)
+		if err != nil {
+			return nil, err
+		}
+		p.pcie = &pat
+	}
+
+	// ---- Base area (pre-interconnect) -------------------------------------
+	coreArea := p.CoreModel.Area()
+	base := coreArea * float64(cfg.NumCores)
+	if p.L2 != nil {
+		base += p.L2.Area
+	}
+	if p.L3 != nil {
+		base += p.L3.Area
+	}
+	if cfg.SharedFPUs > 0 {
+		base += p.fpu.Area * float64(cfg.SharedFPUs)
+	}
+	if p.mcCtl != nil {
+		base += p.mcCtl.Area
+	}
+	if p.niu != nil {
+		base += p.niu.Area
+	}
+	if p.pcie != nil {
+		base += p.pcie.Area
+	}
+
+	// ---- Interconnect ------------------------------------------------------
+	chipSide := math.Sqrt(base * 1.1)
+	switch cfg.NoC.Kind {
+	case Mesh:
+		mx, my := cfg.NoC.MeshX, cfg.NoC.MeshY
+		if mx <= 0 || my <= 0 {
+			return nil, fmt.Errorf("chip %q: mesh NoC requires MeshX/MeshY", cfg.Name)
+		}
+		// The router's local port fans out to the whole cluster: with
+		// clustering the router serves ClusterSize cores plus the L2
+		// slice, so give it one extra port beyond the 4 mesh directions.
+		ports := 5
+		if cfg.NoC.ClusterSize > 1 {
+			ports = 6
+		}
+		if p.router, err = interconnect.NewRouter(interconnect.RouterConfig{
+			Tech: node, Dev: cfg.Dev, LongChannel: cfg.LongChannel,
+			FlitBits: cfg.NoC.FlitBits, Ports: ports,
+			VirtualChannels: cfg.NoC.VirtualChannels, BuffersPerVC: cfg.NoC.BuffersPerVC,
+			Clock: cfg.ClockHz,
+		}); err != nil {
+			return nil, err
+		}
+		if p.link, err = interconnect.NewLink(interconnect.LinkConfig{
+			Tech: node, Dev: cfg.Dev, LongChannel: cfg.LongChannel,
+			Projection: cfg.WireProjection,
+			FlitBits:   cfg.NoC.FlitBits, Length: chipSide / float64(mx), Clock: cfg.ClockHz,
+		}); err != nil {
+			return nil, err
+		}
+		if cfg.NoC.ClusterSize > 1 {
+			// Intra-cluster bus spanning one mesh tile, connecting the
+			// cluster's cores and its L2 slice to the router.
+			if p.clusterBus, err = interconnect.NewBus(interconnect.BusConfig{
+				Tech: node, Dev: cfg.Dev, LongChannel: cfg.LongChannel,
+				Bits: cfg.NoC.FlitBits, Length: chipSide / float64(mx),
+				Agents: cfg.NoC.ClusterSize + 2, Clock: cfg.ClockHz,
+			}); err != nil {
+				return nil, err
+			}
+		}
+	case Bus:
+		if p.link, err = interconnect.NewBus(interconnect.BusConfig{
+			Tech: node, Dev: cfg.Dev, LongChannel: cfg.LongChannel,
+			Bits: cfg.NoC.FlitBits, Length: chipSide,
+			Agents: cfg.NumCores + maxInt(1, banksOf(cfg.L2)), Clock: cfg.ClockHz,
+		}); err != nil {
+			return nil, err
+		}
+	case Ring:
+		stations := cfg.NumCores + banksOf(cfg.L2)
+		if p.router, err = interconnect.NewRouter(interconnect.RouterConfig{
+			Tech: node, Dev: cfg.Dev, LongChannel: cfg.LongChannel,
+			FlitBits: cfg.NoC.FlitBits, Ports: 3,
+			VirtualChannels: cfg.NoC.VirtualChannels, BuffersPerVC: cfg.NoC.BuffersPerVC,
+			Clock: cfg.ClockHz,
+		}); err != nil {
+			return nil, err
+		}
+		// The ring snakes through the floorplan: total length ~2 chip
+		// perimeters, split evenly between stations.
+		ringLen := 4 * chipSide
+		if p.link, err = interconnect.NewLink(interconnect.LinkConfig{
+			Tech: node, Dev: cfg.Dev, LongChannel: cfg.LongChannel,
+			Projection: cfg.WireProjection,
+			FlitBits:   cfg.NoC.FlitBits, Length: ringLen / float64(stations), Clock: cfg.ClockHz,
+		}); err != nil {
+			return nil, err
+		}
+	case Crossbar:
+		if p.link, err = interconnect.NewCrossbar(interconnect.CrossbarConfig{
+			Tech: node, Dev: cfg.Dev, LongChannel: cfg.LongChannel,
+			InPorts: cfg.NumCores + 1, OutPorts: maxInt(1, banksOf(cfg.L2)) + 1,
+			Bits: cfg.NoC.FlitBits, SpanLength: 0.35 * chipSide,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	switch {
+	case cfg.NoC.Kind == Ring:
+		stations := float64(cfg.NumCores + banksOf(cfg.L2))
+		base += (p.router.Area + p.link.Area) * stations
+	case p.router != nil:
+		base += p.router.Area*float64(cfg.NoC.MeshX*cfg.NoC.MeshY) +
+			p.link.Area*float64(linkCount(cfg.NoC.MeshX, cfg.NoC.MeshY))
+		if p.clusterBus != nil {
+			base += p.clusterBus.Area * float64(cfg.NoC.MeshX*cfg.NoC.MeshY)
+		}
+	case p.link != nil:
+		base += p.link.Area
+	}
+	p.baseArea = base
+
+	// ---- Clock network ------------------------------------------------------
+	sinkMult := cfg.ClockSinkMult
+	if sinkMult <= 0 {
+		sinkMult = 1
+	}
+	if p.clk, err = clock.New(clock.Config{
+		Tech: node, Dev: cfg.Dev, LongChannel: cfg.LongChannel,
+		ChipArea: base, ClockHz: cfg.ClockHz, GatingFactor: cfg.ClockGating,
+		SinkMult: sinkMult,
+	}); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func banksOf(c *cache.Config) int {
+	if c == nil {
+		return 0
+	}
+	if c.Banks <= 0 {
+		return 1
+	}
+	return c.Banks
+}
+
+// linkCount returns the number of bidirectional links in an x-by-y mesh.
+func linkCount(x, y int) int {
+	if x <= 0 || y <= 0 {
+		return 0
+	}
+	return x*(y-1) + y*(x-1)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,210 @@
+package chip
+
+import (
+	"mcpat/internal/core"
+	"mcpat/internal/power"
+)
+
+// topLevelOverhead multiplies summed component area for top-level routing
+// channels, power grid, and the I/O pad ring.
+const topLevelOverhead = 1.12
+
+// Report builds the hierarchical power/area report of the whole chip.
+// stats may be nil, in which case only TDP columns are populated.
+func (p *Processor) Report(stats *Stats) *power.Item {
+	cfg := &p.Cfg
+	hz := cfg.ClockHz
+	if stats == nil {
+		stats = &Stats{}
+	}
+
+	item := power.NewItem(cfg.Name)
+
+	// ---- Cores ---------------------------------------------------------
+	coreRep := p.CoreModel.Report(p.corePeak, stats.CoreRun)
+	cores := power.NewItem("Cores")
+	cores.Add(coreRep)
+	cores.Rollup()
+	cores.Scale(float64(cfg.NumCores))
+	cores.Name = "Cores"
+	item.Add(cores)
+
+	// ---- Shared caches ---------------------------------------------------
+	if p.L2 != nil {
+		// TDP access rate: limited both by the bank count and by the
+		// miss/traffic rate the cores can generate (~2 L2 accesses per
+		// core per cycle at saturation).
+		acc := cfg.L2PeakDuty * float64(minInt(p.L2.Cfg().Banks, 2*cfg.NumCores)) * hz
+		item.Add(p.L2.Report(acc*0.7, acc*0.3, stats.L2Reads, stats.L2Writes))
+	}
+	if p.L3 != nil {
+		acc := cfg.L3PeakDuty * float64(minInt(p.L3.Cfg().Banks, 2*cfg.NumCores)) * hz
+		item.Add(p.L3.Report(acc*0.7, acc*0.3, stats.L3Reads, stats.L3Writes))
+	}
+
+	// ---- Shared FPUs -----------------------------------------------------
+	if cfg.SharedFPUs > 0 {
+		n := float64(cfg.SharedFPUs)
+		fpu := power.FromPAT("SharedFPU", p.fpu,
+			power.Activity{Reads: 0.5 * n * hz},
+			power.Activity{Reads: stats.FPOpsPerSec})
+		fpu.Area = p.fpu.Area * n
+		fpu.SubLeak = p.fpu.Static.Sub * n
+		fpu.GateLeak = p.fpu.Static.Gate * n
+		item.Add(fpu)
+	}
+
+	// ---- Interconnect -----------------------------------------------------
+	if ic := p.interconnectReport(stats); ic != nil {
+		item.Add(ic)
+	}
+
+	// ---- Memory controller -------------------------------------------------
+	if p.mcCtl != nil {
+		peakTxn := 0.0
+		if cfg.MC.PeakBandwidth > 0 {
+			peakTxn = cfg.MCPeakUtil * cfg.MC.PeakBandwidth / 64
+		}
+		mcRep := power.NewItem("MemoryController")
+		mcRep.Add(
+			power.FromPAT("frontend", p.mcCtl.FrontEnd,
+				power.Activity{Reads: peakTxn * 0.6, Writes: peakTxn * 0.4},
+				power.Activity{Reads: stats.MCAccesses * 0.6, Writes: stats.MCAccesses * 0.4}),
+			power.FromPAT("backend", p.mcCtl.Backend,
+				power.Activity{Reads: peakTxn * 0.6, Writes: peakTxn * 0.4},
+				power.Activity{Reads: stats.MCAccesses * 0.6, Writes: stats.MCAccesses * 0.4}),
+			power.FromPAT("phy", p.mcCtl.PHY,
+				power.Activity{Reads: peakTxn * 0.6, Writes: peakTxn * 0.4},
+				power.Activity{Reads: stats.MCAccesses * 0.6, Writes: stats.MCAccesses * 0.4}),
+		)
+		item.Add(mcRep)
+	}
+
+	// ---- I/O controllers ------------------------------------------------------
+	if p.niu != nil {
+		peakBits := 2 * cfg.NIU.Bandwidth * float64(maxInt(cfg.NIU.Count, 1))
+		item.Add(power.FromPAT("NIU", *p.niu,
+			power.Activity{Reads: peakBits},
+			power.Activity{Reads: stats.NIUBitsPerSec}))
+	}
+	if p.pcie != nil {
+		lanes := float64(maxInt(cfg.PCIe.Lanes, 1))
+		gbps := cfg.PCIe.GbpsPerLane
+		if gbps <= 0 {
+			gbps = 2.5
+		}
+		peakBits := lanes * gbps * 1e9
+		item.Add(power.FromPAT("PCIe", *p.pcie,
+			power.Activity{Reads: peakBits},
+			power.Activity{Reads: stats.PCIeBitsPerSec}))
+	}
+
+	// ---- Clock network -----------------------------------------------------
+	clk := &power.Item{
+		Name:        "ClockNetwork",
+		Area:        p.clk.Area,
+		PeakDynamic: p.clk.PowerPeak,
+		SubLeak:     p.clk.Static.Sub,
+		GateLeak:    p.clk.Static.Gate,
+	}
+	if stats.CoreRun.PipelineDuty > 0 || stats.L2Reads > 0 || stats.NoCFlits > 0 {
+		// Runtime clock power: same network, gated down with activity.
+		util := stats.CoreRun.PipelineDuty
+		if util <= 0 {
+			util = 0.5
+		}
+		clk.RuntimeDynamic = p.clk.PowerMax * (0.35 + 0.65*util) * cfg.ClockGating
+	}
+	item.Add(clk)
+
+	if cfg.OtherArea > 0 {
+		item.Add(&power.Item{Name: "Other(unmodeled)", Area: cfg.OtherArea})
+	}
+
+	item.Rollup()
+	item.Area *= topLevelOverhead
+	return item
+}
+
+func (p *Processor) interconnectReport(stats *Stats) *power.Item {
+	cfg := &p.Cfg
+	hz := cfg.ClockHz
+	switch cfg.NoC.Kind {
+	case Mesh:
+		nr := float64(cfg.NoC.MeshX * cfg.NoC.MeshY)
+		nl := float64(linkCount(cfg.NoC.MeshX, cfg.NoC.MeshY))
+		const peakDuty = 0.4 // flits per router per cycle at TDP
+		ic := power.NewItem("NoC")
+		routers := power.FromPAT("routers", p.router.PAT,
+			power.Activity{Reads: peakDuty * hz},
+			power.Activity{Reads: stats.NoCFlits})
+		routers.Scale(nr)
+		links := power.FromPAT("links", p.link.PAT,
+			power.Activity{Reads: peakDuty * hz},
+			power.Activity{Reads: stats.NoCFlits})
+		links.Scale(nl)
+		ic.Add(routers, links)
+		if p.clusterBus != nil {
+			buses := power.FromPAT("clusterbus", p.clusterBus.PAT,
+				power.Activity{Reads: 0.6 * hz},
+				power.Activity{Reads: stats.ClusterBusTransfers})
+			buses.Scale(nr)
+			ic.Add(buses)
+		}
+		return ic
+	case Ring:
+		stations := float64(cfg.NumCores + banksOf(cfg.L2))
+		// Every flit traverses ~stations/4 hops on average, so per-router
+		// forwarding duty runs high at TDP.
+		const peakDuty = 0.5
+		ic := power.NewItem("Ring")
+		routers := power.FromPAT("routers", p.router.PAT,
+			power.Activity{Reads: peakDuty * hz},
+			power.Activity{Reads: stats.NoCFlits})
+		routers.Scale(stations)
+		links := power.FromPAT("links", p.link.PAT,
+			power.Activity{Reads: peakDuty * hz},
+			power.Activity{Reads: stats.NoCFlits})
+		links.Scale(stations)
+		ic.Add(routers, links)
+		return ic
+	case Bus:
+		const peakDuty = 0.8
+		ic := power.NewItem("Bus")
+		ic.Add(power.FromPAT("bus", p.link.PAT,
+			power.Activity{Reads: peakDuty * hz},
+			power.Activity{Reads: stats.NoCFlits}))
+		return ic
+	case Crossbar:
+		peakDuty := 0.5 * float64(cfg.NumCores) // port pairs busy at TDP
+		ic := power.NewItem("Crossbar")
+		ic.Add(power.FromPAT("crossbar", p.link.PAT,
+			power.Activity{Reads: peakDuty * hz},
+			power.Activity{Reads: stats.NoCFlits}))
+		return ic
+	}
+	return nil
+}
+
+// TDP returns the chip thermal design power in watts (peak dynamic plus
+// leakage at the configured temperature).
+func (p *Processor) TDP() float64 { return p.Report(nil).Peak() }
+
+// Area returns the chip area in m^2 including top-level overheads.
+func (p *Processor) Area() float64 { return p.Report(nil).Area }
+
+// Leakage returns total chip leakage power (W).
+func (p *Processor) Leakage() float64 {
+	r := p.Report(nil)
+	return r.Leakage()
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// CorePeakActivity exposes the TDP activity vector in use for the cores.
+func (p *Processor) CorePeakActivity() core.Activity { return p.corePeak }

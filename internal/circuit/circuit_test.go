@@ -1,0 +1,212 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mcpat/internal/tech"
+)
+
+func ctx90() Ctx { return NewCtx(tech.MustByFeature(90), tech.HP, false) }
+
+func TestFO4MatchesNode(t *testing.T) {
+	c := ctx90()
+	want := c.Node.FO4(tech.HP, false)
+	if got := c.FO4(); math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("Ctx.FO4 = %v, node FO4 = %v", got, want)
+	}
+}
+
+func TestSwitchEnergy(t *testing.T) {
+	c := ctx90()
+	cap := 1e-15
+	want := 0.5 * cap * c.Vdd() * c.Vdd()
+	if got := c.SwitchE(cap); math.Abs(got-want) > 1e-24 {
+		t.Errorf("SwitchE = %v, want %v", got, want)
+	}
+	if got := c.FullSwingE(cap); math.Abs(got-2*want) > 1e-24 {
+		t.Errorf("FullSwingE = %v, want %v", got, 2*want)
+	}
+}
+
+func TestHorowitz(t *testing.T) {
+	tf := 10e-12
+	d0 := Horowitz(0, tf, 0.5)
+	d1 := Horowitz(20e-12, tf, 0.5)
+	if d1 <= d0 {
+		t.Errorf("slow input ramp must increase delay: %v <= %v", d1, d0)
+	}
+	if d0 <= 0 {
+		t.Errorf("zero-ramp delay must be positive: %v", d0)
+	}
+}
+
+func TestBufferChainSmallLoad(t *testing.T) {
+	c := ctx90()
+	ch := c.BufferChain(c.InvCin(c.Node.MinWidthN()) / 2)
+	if ch.Stages != 1 {
+		t.Errorf("small load should need 1 stage, got %d", ch.Stages)
+	}
+	if ch.Delay <= 0 || ch.Energy <= 0 || ch.Area <= 0 {
+		t.Errorf("non-positive chain outputs: %+v", ch)
+	}
+}
+
+func TestBufferChainLargeLoad(t *testing.T) {
+	c := ctx90()
+	cin := c.InvCin(c.Node.MinWidthN())
+	small := c.BufferChain(10 * cin)
+	big := c.BufferChain(10000 * cin)
+	if big.Stages <= small.Stages {
+		t.Errorf("stages should grow with load: %d <= %d", big.Stages, small.Stages)
+	}
+	if big.Delay <= small.Delay || big.Energy <= small.Energy {
+		t.Errorf("delay/energy should grow with load")
+	}
+	// Logical effort: delay per stage should be a handful of FO4.
+	perStage := big.Delay / float64(big.Stages)
+	if perStage > 3*c.FO4() || perStage < 0.3*c.FO4() {
+		t.Errorf("per-stage delay %v outside [0.3, 3] FO4 (%v)", perStage, c.FO4())
+	}
+}
+
+func TestRepeatedWireLinearDelayInLength(t *testing.T) {
+	c := ctx90()
+	w := c.Node.Wire(tech.Aggressive, tech.Global)
+	d1 := c.RepeatedWire(w, 1e-3)  // 1 mm
+	d10 := c.RepeatedWire(w, 1e-2) // 10 mm
+	ratio := d10.Delay / d1.Delay
+	if ratio < 8 || ratio > 12.5 {
+		t.Errorf("repeated wire delay should be ~linear in length, ratio = %v", ratio)
+	}
+	// Sane magnitude: ~50-500 ps/mm for 90nm global repeated wire.
+	psPerMM := d1.Delay * 1e12
+	if psPerMM < 20 || psPerMM > 700 {
+		t.Errorf("1mm repeated wire delay = %v ps, implausible", psPerMM)
+	}
+	if d10.Repeaters <= d1.Repeaters {
+		t.Error("longer wire needs more repeaters")
+	}
+	if d1.EnergyPerBit <= 0 {
+		t.Error("wire energy must be positive")
+	}
+}
+
+func TestRepeatedWireZeroLength(t *testing.T) {
+	c := ctx90()
+	w := c.Node.Wire(tech.Aggressive, tech.Global)
+	res := c.RepeatedWire(w, 0)
+	if res.Delay != 0 || res.EnergyPerBit != 0 {
+		t.Errorf("zero-length wire should be free: %+v", res)
+	}
+}
+
+func TestRepeatedWireBeatsUnrepeated(t *testing.T) {
+	c := ctx90()
+	w := c.Node.Wire(tech.Aggressive, tech.Global)
+	length := 5e-3
+	rep := c.RepeatedWire(w, length)
+	wmin := c.Node.MinWidthN()
+	unrep := UnrepeatedWireDelay(w, length, c.Dev.REqN(16*wmin), c.InvCin(wmin))
+	if rep.Delay >= unrep {
+		t.Errorf("repeated wire (%v) should beat plain RC wire (%v) at 5mm", rep.Delay, unrep)
+	}
+}
+
+func TestDFFPlausible(t *testing.T) {
+	c := ctx90()
+	ff := c.NewDFF()
+	if ff.EnergyClk <= 0 || ff.EnergyData <= 0 || ff.Area <= 0 || ff.ClkCap <= 0 {
+		t.Fatalf("non-positive DFF fields: %+v", ff)
+	}
+	// 90nm FF switching energy should be on the order of 0.1-10 fJ.
+	fj := ff.EnergyClk / 1e-15
+	if fj < 0.05 || fj > 20 {
+		t.Errorf("DFF clock energy = %v fJ, implausible", fj)
+	}
+}
+
+func TestPipelineWire(t *testing.T) {
+	c := ctx90()
+	w := c.Node.Wire(tech.Aggressive, tech.Global)
+	res, ff, stages := c.PipelineWire(w, 2e-2, 0.5e-9) // 20mm at 2GHz
+	if stages < 2 {
+		t.Errorf("20mm wire at 2 GHz must be pipelined, stages = %d", stages)
+	}
+	if ff.Area <= 0 || res.Delay <= 0 {
+		t.Error("pipeline wire outputs must be positive")
+	}
+	_, _, one := c.PipelineWire(w, 1e-4, 0.5e-9)
+	if one != 1 {
+		t.Errorf("0.1mm wire should not be pipelined, stages = %d", one)
+	}
+}
+
+func TestWireDelayImprovesWithBetterDevices(t *testing.T) {
+	n := tech.MustByFeature(45)
+	w := n.Wire(tech.Aggressive, tech.Global)
+	hp := NewCtx(n, tech.HP, false).RepeatedWire(w, 5e-3)
+	lstp := NewCtx(n, tech.LSTP, false).RepeatedWire(w, 5e-3)
+	if hp.Delay >= lstp.Delay {
+		t.Errorf("HP repeaters (%v) should be faster than LSTP (%v)", hp.Delay, lstp.Delay)
+	}
+}
+
+func TestQuickBufferChainMonotoneInLoad(t *testing.T) {
+	c := ctx90()
+	cin := c.InvCin(c.Node.MinWidthN())
+	f := func(a, b uint16) bool {
+		l1 := cin * (1 + float64(a))
+		l2 := l1 + cin*(1+float64(b))
+		c1, c2 := c.BufferChain(l1), c.BufferChain(l2)
+		return c2.Energy >= c1.Energy*0.999
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRepeatedWirePositive(t *testing.T) {
+	c := ctx90()
+	w := c.Node.Wire(tech.Conservative, tech.SemiGlobal)
+	f := func(mm uint8) bool {
+		l := float64(mm%50+1) * 1e-3
+		r := c.RepeatedWire(w, l)
+		return r.Delay > 0 && r.EnergyPerBit > 0 && r.SubLeak > 0 && r.Area > 0 && r.Repeaters >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLowSwingWireSavesEnergy(t *testing.T) {
+	c := ctx90()
+	w := c.Node.Wire(tech.Aggressive, tech.Global)
+	length := 5e-3
+	full := c.RepeatedWire(w, length)
+	low := c.LowSwingWire(w, length)
+	t.Logf("5mm @90nm: full-swing %.1f fJ/bit %.0f ps | low-swing %.1f fJ/bit %.0f ps",
+		full.EnergyPerBit*1e15, full.Delay*1e12, low.EnergyPerBit*1e15, low.Delay*1e12)
+	// The headline trade: several-fold energy saving...
+	if low.EnergyPerBit >= full.EnergyPerBit/2 {
+		t.Errorf("low swing (%.3g) should save >2x over full swing (%.3g)",
+			low.EnergyPerBit, full.EnergyPerBit)
+	}
+	// ...at a latency cost (no repeaters on the span).
+	if low.Delay <= full.Delay {
+		t.Errorf("low swing (%.3g) should be slower than repeated full swing (%.3g)",
+			low.Delay, full.Delay)
+	}
+	if low.Repeaters != 0 {
+		t.Error("low-swing spans carry no repeaters")
+	}
+}
+
+func TestLowSwingWireZeroLength(t *testing.T) {
+	c := ctx90()
+	w := c.Node.Wire(tech.Aggressive, tech.Global)
+	if r := c.LowSwingWire(w, 0); r.Delay != 0 || r.EnergyPerBit != 0 {
+		t.Errorf("zero-length low-swing wire must be free: %+v", r)
+	}
+}

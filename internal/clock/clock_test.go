@@ -1,0 +1,85 @@
+package clock
+
+import (
+	"testing"
+
+	"mcpat/internal/tech"
+)
+
+func TestNiagaraClassClockPower(t *testing.T) {
+	// A 379 mm^2 chip at 1.2 GHz / 90 nm should burn several watts in the
+	// clock network (published full-chip clocks run ~15-30% of dynamic).
+	net, err := New(Config{
+		Tech:     tech.MustByFeature(90),
+		Dev:      tech.HP,
+		ChipArea: 379e-6,
+		ClockHz:  1.2e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("379mm^2 @1.2GHz 90nm clock: peak=%.2f W max=%.2f W cap=%.2f nF wire=%.1f m",
+		net.PowerPeak, net.PowerMax, net.TotalCap*1e9, net.WireLength)
+	if net.PowerPeak < 2 || net.PowerPeak > 20 {
+		t.Errorf("clock power = %.2f W, want 2-20 W", net.PowerPeak)
+	}
+	if net.PowerMax <= net.PowerPeak {
+		t.Error("ungated power must exceed gated power")
+	}
+	if net.SinkCap <= 0 || net.WireCap <= 0 || net.BufferCap <= 0 {
+		t.Error("all capacitance components must be positive")
+	}
+}
+
+func TestClockScalesWithAreaAndFrequency(t *testing.T) {
+	mk := func(area, hz float64) *Network {
+		n, err := New(Config{Tech: tech.MustByFeature(65), Dev: tech.HP, ChipArea: area, ClockHz: hz})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	small := mk(100e-6, 2e9)
+	big := mk(400e-6, 2e9)
+	if big.PowerPeak <= small.PowerPeak*2 {
+		t.Errorf("4x area should give >2x clock power: %.2f vs %.2f", big.PowerPeak, small.PowerPeak)
+	}
+	fast := mk(100e-6, 4e9)
+	ratio := fast.PowerPeak / small.PowerPeak
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("2x frequency should double clock power, ratio = %.2f", ratio)
+	}
+}
+
+func TestExplicitSinkCap(t *testing.T) {
+	cfg := Config{Tech: tech.MustByFeature(45), Dev: tech.HP, ChipArea: 100e-6, ClockHz: 3e9, SinkCap: 2e-9}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.SinkCap != 2e-9 {
+		t.Errorf("explicit sink cap ignored: %v", n.SinkCap)
+	}
+}
+
+func TestGatingFactor(t *testing.T) {
+	base := Config{Tech: tech.MustByFeature(45), Dev: tech.HP, ChipArea: 100e-6, ClockHz: 3e9}
+	def, _ := New(base)
+	base.GatingFactor = 1.0
+	ungated, _ := New(base)
+	if ungated.PowerPeak <= def.PowerPeak {
+		t.Error("gating factor 1.0 must exceed default 0.75")
+	}
+}
+
+func TestClockValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil tech must fail")
+	}
+	if _, err := New(Config{Tech: tech.MustByFeature(90), ChipArea: 0, ClockHz: 1e9}); err == nil {
+		t.Error("zero area must fail")
+	}
+	if _, err := New(Config{Tech: tech.MustByFeature(90), ChipArea: 1e-6, ClockHz: 0}); err == nil {
+		t.Error("zero clock must fail")
+	}
+}

@@ -1,0 +1,307 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"mcpat/internal/chip"
+	"mcpat/internal/core"
+
+	"mcpat/internal/validation"
+)
+
+const sampleXML = `<?xml version="1.0"?>
+<component id="system" type="System">
+  <param name="name" value="testchip"/>
+  <param name="tech_node_nm" value="45"/>
+  <param name="clock_mhz" value="2000"/>
+  <param name="vdd" value="1.0"/>
+  <param name="device_type" value="HP"/>
+  <param name="num_cores" value="4"/>
+  <param name="interconnect" value="mesh"/>
+  <param name="flit_bits" value="128"/>
+  <param name="mesh_x" value="2"/>
+  <param name="mesh_y" value="2"/>
+  <stat name="noc_flits_per_sec" value="1e9"/>
+  <component id="system.core" type="Core">
+    <param name="threads" value="2"/>
+    <param name="ooo" value="1"/>
+    <param name="issue_width" value="4"/>
+    <param name="icache_bytes" value="32768"/>
+    <param name="dcache_bytes" value="32768"/>
+    <param name="int_alus" value="3"/>
+    <stat name="int_ops_per_cycle" value="1.7"/>
+    <stat name="pipeline_duty" value="0.8"/>
+  </component>
+  <component id="system.L2" type="CacheUnit">
+    <param name="bytes" value="2097152"/>
+    <param name="banks" value="4"/>
+    <stat name="reads_per_sec" value="2e9"/>
+    <stat name="writes_per_sec" value="1e9"/>
+  </component>
+  <component id="system.mc" type="MemoryController">
+    <param name="channels" value="2"/>
+    <param name="peak_bandwidth_gbs" value="25"/>
+    <stat name="accesses_per_sec" value="3e8"/>
+  </component>
+</component>`
+
+func TestParseAndAccessors(t *testing.T) {
+	root, err := ParseString(sampleXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.ID != "system" || root.Type != "System" {
+		t.Fatalf("root = %s/%s", root.ID, root.Type)
+	}
+	if got := root.ParamInt("num_cores", 0); got != 4 {
+		t.Errorf("num_cores = %d", got)
+	}
+	if got := root.ParamFloat("clock_mhz", 0); got != 2000 {
+		t.Errorf("clock_mhz = %v", got)
+	}
+	if got := root.ParamString("device_type", ""); got != "HP" {
+		t.Errorf("device_type = %q", got)
+	}
+	if !root.Child("core").ParamBool("ooo", false) {
+		t.Error("ooo = false, want true")
+	}
+	if got := root.Child("core").StatFloat("int_ops_per_cycle", 0); got != 1.7 {
+		t.Errorf("int_ops stat = %v", got)
+	}
+	// Defaults for absent entries.
+	if got := root.ParamInt("missing", 42); got != 42 {
+		t.Errorf("missing default = %d", got)
+	}
+}
+
+func TestToChipConfig(t *testing.T) {
+	root, err := ParseString(sampleXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := ToChipConfig(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NM != 45 || cfg.ClockHz != 2e9 || cfg.Vdd != 1.0 {
+		t.Errorf("system params wrong: %+v", cfg)
+	}
+	if cfg.NoC.Kind != chip.Mesh || cfg.NoC.MeshX != 2 || cfg.NoC.MeshY != 2 {
+		t.Errorf("NoC spec wrong: %+v", cfg.NoC)
+	}
+	if !cfg.Core.OoO || cfg.Core.IssueWidth != 4 || cfg.Core.ICache.Bytes != 32768 {
+		t.Errorf("core config wrong: %+v", cfg.Core)
+	}
+	if cfg.L2 == nil || cfg.L2.Bytes != 2097152 || cfg.L2.Banks != 4 {
+		t.Errorf("L2 config wrong: %+v", cfg.L2)
+	}
+	if cfg.MC == nil || cfg.MC.PeakBandwidth != 25e9 {
+		t.Errorf("MC config wrong: %+v", cfg.MC)
+	}
+	// The parsed config must actually synthesize.
+	if _, err := chip.New(cfg); err != nil {
+		t.Fatalf("synthesizing parsed config: %v", err)
+	}
+}
+
+func TestToStats(t *testing.T) {
+	root, _ := ParseString(sampleXML)
+	s := ToStats(root)
+	if s.CoreRun.IntOp != 1.7 || s.CoreRun.PipelineDuty != 0.8 {
+		t.Errorf("core stats wrong: %+v", s.CoreRun)
+	}
+	if s.L2Reads != 2e9 || s.L2Writes != 1e9 {
+		t.Errorf("L2 stats wrong: %v/%v", s.L2Reads, s.L2Writes)
+	}
+	if s.MCAccesses != 3e8 || s.NoCFlits != 1e9 {
+		t.Errorf("traffic stats wrong: %+v", s)
+	}
+}
+
+func TestRoundTripValidationTargets(t *testing.T) {
+	// Every validation descriptor must survive config -> XML -> config.
+	for _, target := range validation.All() {
+		xmlTree := FromChipConfig(target.Chip)
+		text := xmlTree.String()
+		parsed, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", target.Ref.Name, err)
+		}
+		got, err := ToChipConfig(parsed)
+		if err != nil {
+			t.Fatalf("%s: remap: %v", target.Ref.Name, err)
+		}
+		want := target.Chip
+		// Compare the synthesized chips' totals: the round trip must not
+		// change the model.
+		pw, err := chip.New(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg, err := chip.New(got)
+		if err != nil {
+			t.Fatalf("%s: synthesizing round-tripped config: %v", target.Ref.Name, err)
+		}
+		if w, g := pw.TDP(), pg.TDP(); !close(w, g, 1e-9) {
+			t.Errorf("%s: TDP changed across round trip: %v -> %v", target.Ref.Name, w, g)
+		}
+		if w, g := pw.Area(), pg.Area(); !close(w, g, 1e-9) {
+			t.Errorf("%s: area changed across round trip: %v -> %v", target.Ref.Name, w, g)
+		}
+	}
+}
+
+func close(a, b, rel float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= rel*(abs(a)+abs(b))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestWriteProducesValidXML(t *testing.T) {
+	xmlTree := FromChipConfig(validation.Niagara().Chip)
+	text := xmlTree.String()
+	if !strings.Contains(text, `<component id="system" type="System">`) {
+		t.Error("missing system component")
+	}
+	if !strings.Contains(text, "tech_node_nm") {
+		t.Error("missing tech node param")
+	}
+	if _, err := ParseString(text); err != nil {
+		t.Fatalf("generated XML does not parse: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ParseString("not xml"); err == nil {
+		t.Error("garbage must fail")
+	}
+	if _, err := ParseString("<component type='System'></component>"); err == nil {
+		t.Error("missing id must fail")
+	}
+	root, _ := ParseString(sampleXML)
+	root.SetParam("device_type", "QUANTUM")
+	if _, err := ToChipConfig(root); err == nil {
+		t.Error("unknown device type must fail")
+	}
+	root, _ = ParseString(sampleXML)
+	root.SetParam("interconnect", "teleport")
+	if _, err := ToChipConfig(root); err == nil {
+		t.Error("unknown interconnect must fail")
+	}
+}
+
+func TestExtendedParamsRoundTrip(t *testing.T) {
+	// The newer knobs (ring fabric, eDRAM cells, CAM RAT, power gating,
+	// conservative wires) must survive config -> XML -> config.
+	cfg, err := ToChipConfig(must(t, `<component id="system" type="System">
+	  <param name="tech_node_nm" value="32"/>
+	  <param name="clock_mhz" value="2000"/>
+	  <param name="num_cores" value="4"/>
+	  <param name="interconnect" value="ring"/>
+	  <param name="wire_projection" value="conservative"/>
+	  <component id="system.core" type="Core">
+	    <param name="ooo" value="1"/>
+	    <param name="rename_cam" value="1"/>
+	    <param name="power_gating" value="1"/>
+	  </component>
+	  <component id="system.L2" type="CacheUnit">
+	    <param name="bytes" value="4194304"/>
+	    <param name="edram" value="1"/>
+	  </component>
+	</component>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NoC.Kind != chip.Ring {
+		t.Error("ring fabric lost")
+	}
+	if !cfg.Core.RenameCAM || !cfg.Core.PowerGating {
+		t.Error("core knobs lost")
+	}
+	if !cfg.L2.EDRAM {
+		t.Error("eDRAM knob lost")
+	}
+	// Round trip.
+	back, err := ToChipConfig(mustParse(t, FromChipConfig(cfg).String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NoC.Kind != chip.Ring || !back.Core.RenameCAM || !back.Core.PowerGating || !back.L2.EDRAM {
+		t.Error("extended knobs lost in round trip")
+	}
+	if back.WireProjection != cfg.WireProjection {
+		t.Error("wire projection lost in round trip")
+	}
+}
+
+func must(t *testing.T, s string) *Component {
+	t.Helper()
+	return mustParse(t, s)
+}
+
+func mustParse(t *testing.T, s string) *Component {
+	t.Helper()
+	c, err := ParseString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSetParamReplaces(t *testing.T) {
+	c := &Component{ID: "x"}
+	c.SetParam("a", "1")
+	c.SetParam("a", "2")
+	if len(c.Params) != 1 || c.Params[0].Value != "2" {
+		t.Errorf("SetParam did not replace: %+v", c.Params)
+	}
+	c.SetStat("s", "1")
+	c.SetStat("s", "3")
+	if len(c.Stats) != 1 || c.Stats[0].Value != "3" {
+		t.Errorf("SetStat did not replace: %+v", c.Stats)
+	}
+}
+
+func TestFromStatsRoundTrip(t *testing.T) {
+	cfg := validation.Niagara().Chip
+	root := FromChipConfig(cfg)
+	want := &chip.Stats{
+		CoreRun: core.Activity{
+			ICacheAccess: 0.9, Decode: 0.8, IntOp: 0.7,
+			DCacheRead: 0.2, DCacheWrite: 0.1, PipelineDuty: 0.85,
+		},
+		L2Reads: 1.5e9, L2Writes: 0.5e9,
+		NoCFlits:   2e9,
+		MCAccesses: 3e8,
+	}
+	FromStats(root, want)
+	parsed, err := ParseString(root.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ToStats(parsed)
+	if got.CoreRun.ICacheAccess != 0.9 || got.CoreRun.PipelineDuty != 0.85 {
+		t.Errorf("core stats lost: %+v", got.CoreRun)
+	}
+	if got.L2Reads != 1.5e9 || got.L2Writes != 0.5e9 {
+		t.Errorf("L2 stats lost: %v/%v", got.L2Reads, got.L2Writes)
+	}
+	if got.NoCFlits != 2e9 || got.MCAccesses != 3e8 {
+		t.Errorf("traffic stats lost: %+v", got)
+	}
+}
+
+func TestFromStatsNilSafe(t *testing.T) {
+	FromStats(nil, &chip.Stats{})
+	FromStats(&Component{ID: "x"}, nil) // must not panic
+}

@@ -1,0 +1,171 @@
+// Package dram models off-chip DRAM device power with the standard
+// IDD-current methodology (the Micron power-calculator approach that
+// DRAMPower formalizes): background power from the precharge/active
+// standby currents, activate/precharge energy per row cycle, read/write
+// burst energy, refresh, and I/O termination. The memory-controller model
+// in package mc covers the on-die interface; this package covers the DIMM
+// side, so a full platform power budget can be assembled around the chip.
+//
+// Currents are datasheet values at the rated voltage; power follows
+//
+//	P = VDD * ( IDD3N*actFrac + IDD2N*(1-actFrac) )            background
+//	  + VDD * (IDD0 - IDD3N) * tRC * actRate                   act/pre
+//	  + VDD * (IDD4R - IDD3N) * burstFracRd  (and IDD4W)       bursts
+//	  + VDD * (IDD5 - IDD3N) * tRFC / tREFI                    refresh
+//	  + per-bit termination on the DQ pins                     I/O
+package dram
+
+import (
+	"fmt"
+)
+
+// DeviceSpec is a DRAM device datasheet extract. Currents in amperes,
+// times in seconds, per device (one x8 chip unless stated otherwise).
+type DeviceSpec struct {
+	Name string
+	VDD  float64 // supply (V)
+
+	IDD0  float64 // one-bank activate-precharge current
+	IDD2N float64 // precharge standby
+	IDD3N float64 // active standby
+	IDD4R float64 // burst read
+	IDD4W float64 // burst write
+	IDD5  float64 // refresh burst
+
+	TRC   float64 // row cycle time (s)
+	TRFC  float64 // refresh cycle time (s)
+	TREFI float64 // refresh interval (s)
+
+	DataRate float64 // transfers/s per pin (e.g. 800e6 for DDR2-800)
+	Width    int     // data pins per device (x4/x8/x16)
+
+	// TermMWPerPin is the output-driver + ODT power per active DQ pin in
+	// watts at full utilization.
+	TermWPerPin float64
+}
+
+// DDR2_800 returns a representative 1Gb x8 DDR2-800 device.
+func DDR2_800() DeviceSpec {
+	return DeviceSpec{
+		Name: "DDR2-800 1Gb x8", VDD: 1.8,
+		IDD0: 0.090, IDD2N: 0.055, IDD3N: 0.060,
+		IDD4R: 0.145, IDD4W: 0.155, IDD5: 0.180,
+		TRC: 55e-9, TRFC: 127.5e-9, TREFI: 7.8e-6,
+		DataRate: 800e6, Width: 8,
+		TermWPerPin: 0.011,
+	}
+}
+
+// DDR3_1333 returns a representative 2Gb x8 DDR3-1333 device.
+func DDR3_1333() DeviceSpec {
+	return DeviceSpec{
+		Name: "DDR3-1333 2Gb x8", VDD: 1.5,
+		IDD0: 0.075, IDD2N: 0.040, IDD3N: 0.045,
+		IDD4R: 0.130, IDD4W: 0.135, IDD5: 0.160,
+		TRC: 49e-9, TRFC: 160e-9, TREFI: 7.8e-6,
+		DataRate: 1333e6, Width: 8,
+		TermWPerPin: 0.009,
+	}
+}
+
+// ChannelSpec describes one populated memory channel.
+type ChannelSpec struct {
+	Device         DeviceSpec
+	DevicesPerRank int // 8 x8 devices for a 64-bit channel
+	Ranks          int
+}
+
+// Traffic is the workload the channel serves.
+type Traffic struct {
+	ReadBytesPerSec  float64
+	WriteBytesPerSec float64
+	// RowHitRate is the fraction of accesses hitting an open row
+	// (no activate needed). Typical: 0.3-0.8.
+	RowHitRate float64
+	// ActiveFraction is the fraction of time at least one bank is open
+	// (drives IDD3N vs IDD2N standby). Zero derives it from utilization.
+	ActiveFraction float64
+}
+
+// Result is the channel power breakdown in watts.
+type Result struct {
+	Background  float64
+	ActPre      float64
+	ReadBurst   float64
+	WriteBurst  float64
+	Refresh     float64
+	Termination float64
+	Total       float64
+
+	Utilization float64 // fraction of peak channel bandwidth used
+}
+
+// ChannelPower evaluates the IDD model for one channel under the given
+// traffic.
+func ChannelPower(ch ChannelSpec, tr Traffic) (*Result, error) {
+	d := ch.Device
+	if d.VDD <= 0 || d.DataRate <= 0 || d.Width <= 0 {
+		return nil, fmt.Errorf("dram: incomplete device spec %q", d.Name)
+	}
+	if ch.DevicesPerRank <= 0 {
+		ch.DevicesPerRank = 8
+	}
+	if ch.Ranks <= 0 {
+		ch.Ranks = 1
+	}
+	if tr.RowHitRate < 0 || tr.RowHitRate > 1 {
+		return nil, fmt.Errorf("dram: row hit rate %v out of range", tr.RowHitRate)
+	}
+
+	devices := float64(ch.DevicesPerRank * ch.Ranks)
+	busBytesPerSec := d.DataRate * float64(ch.DevicesPerRank*d.Width) / 8
+	demand := tr.ReadBytesPerSec + tr.WriteBytesPerSec
+	util := 0.0
+	if busBytesPerSec > 0 {
+		util = demand / busBytesPerSec
+	}
+	if util > 1 {
+		return nil, fmt.Errorf("dram: traffic %.1f GB/s exceeds channel peak %.1f GB/s",
+			demand/1e9, busBytesPerSec/1e9)
+	}
+
+	active := tr.ActiveFraction
+	if active == 0 {
+		// Banks stay open roughly in proportion to utilization, with a
+		// floor from page-open policy.
+		active = 0.15 + 0.85*util
+	}
+
+	res := &Result{Utilization: util}
+
+	// Background: blend of active and precharge standby across devices.
+	res.Background = d.VDD * (d.IDD3N*active + d.IDD2N*(1-active)) * devices
+
+	// Activates: each row miss costs one ACT+PRE across the rank. A
+	// 64-byte access moves 64 bytes over the whole rank.
+	accessesPerSec := demand / 64
+	actRate := accessesPerSec * (1 - tr.RowHitRate)
+	eActPre := d.VDD * (d.IDD0 - d.IDD3N) * d.TRC * float64(ch.DevicesPerRank)
+	res.ActPre = eActPre * actRate
+
+	// Burst power scales with the fraction of time each direction is
+	// bursting.
+	rdFrac, wrFrac := 0.0, 0.0
+	if busBytesPerSec > 0 {
+		rdFrac = tr.ReadBytesPerSec / busBytesPerSec
+		wrFrac = tr.WriteBytesPerSec / busBytesPerSec
+	}
+	res.ReadBurst = d.VDD * (d.IDD4R - d.IDD3N) * rdFrac * devices
+	res.WriteBurst = d.VDD * (d.IDD4W - d.IDD3N) * wrFrac * devices
+
+	// Refresh: duty-cycled IDD5 across all devices.
+	res.Refresh = d.VDD * (d.IDD5 - d.IDD3N) * (d.TRFC / d.TREFI) * devices
+
+	// Termination on the active DQ pins.
+	pins := float64(ch.DevicesPerRank * d.Width)
+	res.Termination = d.TermWPerPin * pins * util
+
+	res.Total = res.Background + res.ActPre + res.ReadBurst + res.WriteBurst +
+		res.Refresh + res.Termination
+	return res, nil
+}

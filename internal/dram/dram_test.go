@@ -1,0 +1,110 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func channel() ChannelSpec {
+	return ChannelSpec{Device: DDR2_800(), DevicesPerRank: 8, Ranks: 2}
+}
+
+func TestIdleChannelPower(t *testing.T) {
+	r, err := ChannelPower(channel(), Traffic{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("idle DDR2 channel: %.2f W (bg %.2f, refresh %.2f)", r.Total, r.Background, r.Refresh)
+	// An idle 2-rank DDR2 channel burns 1.5-4 W in standby+refresh.
+	if r.Total < 1 || r.Total > 5 {
+		t.Errorf("idle power %.2f W implausible", r.Total)
+	}
+	if r.ActPre != 0 || r.ReadBurst != 0 || r.Termination != 0 {
+		t.Error("idle channel must have no activity components")
+	}
+	if r.Refresh <= 0 {
+		t.Error("refresh must always burn power")
+	}
+}
+
+func TestLoadedChannelPower(t *testing.T) {
+	r, err := ChannelPower(channel(), Traffic{
+		ReadBytesPerSec:  4e9,
+		WriteBytesPerSec: 2e9,
+		RowHitRate:       0.6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("loaded (6 GB/s) channel: %.2f W  [bg %.2f act %.2f rd %.2f wr %.2f ref %.2f term %.2f]",
+		r.Total, r.Background, r.ActPre, r.ReadBurst, r.WriteBurst, r.Refresh, r.Termination)
+	idle, _ := ChannelPower(channel(), Traffic{})
+	if r.Total <= idle.Total {
+		t.Error("traffic must add power")
+	}
+	// A loaded DDR2 channel lands in the 3-8 W band.
+	if r.Total < 2 || r.Total > 9 {
+		t.Errorf("loaded power %.2f W implausible", r.Total)
+	}
+	if r.Utilization < 0.9 || r.Utilization > 1 {
+		t.Errorf("6.0/6.4 GB/s should be ~94%% utilization, got %.2f", r.Utilization)
+	}
+}
+
+func TestRowHitsSaveActivates(t *testing.T) {
+	tr := Traffic{ReadBytesPerSec: 3e9, RowHitRate: 0.2}
+	lo, _ := ChannelPower(channel(), tr)
+	tr.RowHitRate = 0.9
+	hi, _ := ChannelPower(channel(), tr)
+	if hi.ActPre >= lo.ActPre {
+		t.Errorf("higher row hit rate must cut ACT/PRE power: %.2f vs %.2f", hi.ActPre, lo.ActPre)
+	}
+	if hi.Total >= lo.Total {
+		t.Error("the saving must appear in the total")
+	}
+}
+
+func TestDDR3BeatsDDR2PerByte(t *testing.T) {
+	tr := Traffic{ReadBytesPerSec: 4e9, RowHitRate: 0.6}
+	d2, err := ChannelPower(channel(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3, err := ChannelPower(ChannelSpec{Device: DDR3_1333(), DevicesPerRank: 8, Ranks: 2}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3.Total >= d2.Total {
+		t.Errorf("DDR3 at 1.5V must beat DDR2 at 1.8V for the same traffic: %.2f vs %.2f W",
+			d3.Total, d2.Total)
+	}
+}
+
+func TestOversubscriptionRejected(t *testing.T) {
+	if _, err := ChannelPower(channel(), Traffic{ReadBytesPerSec: 50e9}); err == nil {
+		t.Error("traffic above channel peak must fail")
+	}
+	if _, err := ChannelPower(channel(), Traffic{RowHitRate: 1.5}); err == nil {
+		t.Error("bad row hit rate must fail")
+	}
+	if _, err := ChannelPower(ChannelSpec{}, Traffic{}); err == nil {
+		t.Error("empty device must fail")
+	}
+}
+
+func TestQuickMonotoneInTraffic(t *testing.T) {
+	f := func(gb uint8) bool {
+		lo := Traffic{ReadBytesPerSec: float64(gb%5) * 1e9, RowHitRate: 0.5}
+		hi := lo
+		hi.ReadBytesPerSec += 1e9
+		a, err1 := ChannelPower(channel(), lo)
+		b, err2 := ChannelPower(channel(), hi)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return b.Total > a.Total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,299 @@
+// Package explore implements chip-level design-space exploration on top
+// of the power/area/timing models: it enumerates a design space (core
+// count, cache capacity, fabric, clustering), synthesizes every point,
+// rejects those that violate the area/TDP budget, evaluates performance
+// with the bundled simulator, and ranks the survivors under a chosen
+// objective. This is the "architecting as constrained optimization" use
+// that McPAT was built to serve, packaged as a reusable engine.
+package explore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mcpat/internal/cache"
+	"mcpat/internal/chip"
+	"mcpat/internal/core"
+	"mcpat/internal/mc"
+	"mcpat/internal/perfsim"
+)
+
+// Space enumerates the design axes. Empty slices take single defaults.
+type Space struct {
+	Cores        []int
+	L2PerCoreKB  []int
+	Fabrics      []chip.InterconnectKind
+	ClusterSizes []int // meaningful for Mesh fabrics only
+}
+
+// Constraints bound the feasible region.
+type Constraints struct {
+	MaxAreaMM2 float64 // 0 = unconstrained
+	MaxTDP     float64 // W; 0 = unconstrained
+}
+
+// Objective ranks feasible candidates; higher is better.
+type Objective int
+
+const (
+	// MaxThroughput maximizes aggregate instructions/s.
+	MaxThroughput Objective = iota
+	// MaxPerfPerWatt maximizes throughput per runtime watt.
+	MaxPerfPerWatt
+	// MinED2AP minimizes energy x delay^2 x area (reported as its inverse
+	// so that higher is still better).
+	MinED2AP
+)
+
+func (o Objective) String() string {
+	switch o {
+	case MaxThroughput:
+		return "throughput"
+	case MaxPerfPerWatt:
+		return "perf/watt"
+	case MinED2AP:
+		return "1/ED2AP"
+	}
+	return fmt.Sprintf("Objective(%d)", int(o))
+}
+
+// Params fixes everything the space does not sweep.
+type Params struct {
+	NM      float64
+	ClockHz float64
+	Threads int
+	MemBW   float64 // bytes/s
+
+	Workloads []perfsim.Workload // nil selects the SPLASH-2-like trio
+}
+
+// Candidate is one evaluated design point.
+type Candidate struct {
+	Cores       int
+	L2PerCoreKB int
+	Fabric      chip.InterconnectKind
+	ClusterSize int
+
+	TDP     float64 // W
+	AreaMM2 float64
+	Perf    float64 // instructions/s (mean over workloads)
+	RunW    float64 // runtime power (geomean)
+
+	Feasible bool
+	Reject   string // why infeasible ("" when feasible)
+	Score    float64
+}
+
+// Result is the completed exploration.
+type Result struct {
+	Candidates []Candidate // every point, feasible first, ranked by score
+	Best       *Candidate  // nil if nothing feasible
+	Evaluated  int
+	Feasible   int
+}
+
+func (s *Space) defaults() {
+	if len(s.Cores) == 0 {
+		s.Cores = []int{8}
+	}
+	if len(s.L2PerCoreKB) == 0 {
+		s.L2PerCoreKB = []int{256}
+	}
+	if len(s.Fabrics) == 0 {
+		s.Fabrics = []chip.InterconnectKind{chip.Mesh}
+	}
+	if len(s.ClusterSizes) == 0 {
+		s.ClusterSizes = []int{1}
+	}
+}
+
+func (p *Params) defaults() error {
+	if p.NM == 0 {
+		p.NM = 22
+	}
+	if p.ClockHz == 0 {
+		p.ClockHz = 2.5e9
+	}
+	if p.Threads == 0 {
+		p.Threads = 4
+	}
+	if p.MemBW == 0 {
+		p.MemBW = 200e9
+	}
+	if len(p.Workloads) == 0 {
+		p.Workloads = perfsim.SPLASH2Like()
+	}
+	return nil
+}
+
+func meshDims(n int) (int, int) {
+	x, y := 1, 1
+	for x*y < n {
+		if x <= y {
+			x *= 2
+		} else {
+			y *= 2
+		}
+	}
+	return x, y
+}
+
+// buildConfig constructs the chip for one design point.
+func buildConfig(p Params, c Candidate) (chip.Config, error) {
+	banks := c.Cores
+	cfg := chip.Config{
+		Name:     fmt.Sprintf("dse-%dc-%dkb-%v-cl%d", c.Cores, c.L2PerCoreKB, c.Fabric, c.ClusterSize),
+		NM:       p.NM,
+		ClockHz:  p.ClockHz,
+		NumCores: c.Cores,
+		Core: core.Config{
+			Threads: p.Threads,
+			ICache:  core.CacheParams{Bytes: 16 << 10, BlockBytes: 32, Assoc: 4},
+			DCache:  core.CacheParams{Bytes: 8 << 10, BlockBytes: 16, Assoc: 4},
+			IntALUs: 1, MulDivs: 1, FPUs: 1,
+		},
+		MC: &mc.Config{Channels: 4, PeakBandwidth: p.MemBW, LVDS: true},
+	}
+	switch c.Fabric {
+	case chip.Mesh:
+		if c.Cores%c.ClusterSize != 0 {
+			return cfg, fmt.Errorf("cluster %d does not divide %d cores", c.ClusterSize, c.Cores)
+		}
+		clusters := c.Cores / c.ClusterSize
+		mx, my := meshDims(clusters)
+		cfg.NoC = chip.NoCSpec{
+			Kind: chip.Mesh, FlitBits: 128, MeshX: mx, MeshY: my,
+			VirtualChannels: 2, BuffersPerVC: 4, ClusterSize: c.ClusterSize,
+		}
+		banks = clusters
+	case chip.Ring, chip.Bus, chip.Crossbar:
+		cfg.NoC = chip.NoCSpec{Kind: c.Fabric, FlitBits: 128}
+	}
+	cfg.L2 = &cache.Config{
+		Name:  "L2",
+		Bytes: c.Cores * c.L2PerCoreKB << 10, BlockBytes: 64, Assoc: 8,
+		Banks: banks, Directory: true, Sharers: c.Cores,
+	}
+	return cfg, nil
+}
+
+// Search runs the exhaustive exploration.
+func Search(p Params, space Space, cons Constraints, obj Objective) (*Result, error) {
+	if err := p.defaults(); err != nil {
+		return nil, err
+	}
+	space.defaults()
+
+	res := &Result{}
+	for _, cores := range space.Cores {
+		for _, l2kb := range space.L2PerCoreKB {
+			for _, fab := range space.Fabrics {
+				clusterSizes := space.ClusterSizes
+				if fab != chip.Mesh {
+					clusterSizes = []int{1}
+				}
+				for _, cl := range clusterSizes {
+					cand := Candidate{
+						Cores: cores, L2PerCoreKB: l2kb, Fabric: fab, ClusterSize: cl,
+					}
+					if err := evaluate(p, cons, obj, &cand); err != nil {
+						return nil, err
+					}
+					res.Evaluated++
+					if cand.Feasible {
+						res.Feasible++
+					}
+					res.Candidates = append(res.Candidates, cand)
+				}
+			}
+		}
+	}
+	sort.SliceStable(res.Candidates, func(i, j int) bool {
+		a, b := res.Candidates[i], res.Candidates[j]
+		if a.Feasible != b.Feasible {
+			return a.Feasible
+		}
+		return a.Score > b.Score
+	})
+	if len(res.Candidates) > 0 && res.Candidates[0].Feasible {
+		res.Best = &res.Candidates[0]
+	}
+	return res, nil
+}
+
+func evaluate(p Params, cons Constraints, obj Objective, cand *Candidate) error {
+	cfg, err := buildConfig(p, *cand)
+	if err != nil {
+		cand.Reject = err.Error()
+		return nil // malformed point: infeasible, not fatal
+	}
+	proc, err := chip.New(cfg)
+	if err != nil {
+		cand.Reject = err.Error()
+		return nil
+	}
+	rep := proc.Report(nil)
+	cand.TDP = rep.Peak()
+	cand.AreaMM2 = rep.Area * 1e6
+
+	if cons.MaxAreaMM2 > 0 && cand.AreaMM2 > cons.MaxAreaMM2 {
+		cand.Reject = fmt.Sprintf("area %.0f mm2 > budget %.0f", cand.AreaMM2, cons.MaxAreaMM2)
+		return nil
+	}
+	if cons.MaxTDP > 0 && cand.TDP > cons.MaxTDP {
+		cand.Reject = fmt.Sprintf("TDP %.0f W > budget %.0f", cand.TDP, cons.MaxTDP)
+		return nil
+	}
+
+	// Performance + runtime power over the workloads.
+	dim, _ := meshDims(maxInt(cand.Cores/maxInt(cand.ClusterSize, 1), 1))
+	m := perfsim.Machine{
+		Cores: cand.Cores, ThreadsPerCore: p.Threads, IssueWidth: 1,
+		ClockHz:      p.ClockHz,
+		ClusterSize:  cand.ClusterSize,
+		L2Latency:    math.Ceil(proc.L2.AccessTime()*p.ClockHz) + 4,
+		FabricHopLat: 4, MemLatency: 60e-9 * p.ClockHz,
+		MeshDim: dim, MemBandwidth: p.MemBW, BusBytes: 16,
+	}
+	var sumPerf, logW float64
+	for _, w := range p.Workloads {
+		sim, err := perfsim.Run(m, w)
+		if err != nil {
+			return err
+		}
+		stats := &chip.Stats{
+			CoreRun:    sim.CoreActivity,
+			L2Reads:    sim.L2ReadsSec,
+			L2Writes:   sim.L2WritesSec,
+			NoCFlits:   sim.FabricFlits,
+			MCAccesses: sim.MemAccessesS,
+		}
+		runRep := proc.Report(stats)
+		sumPerf += sim.Throughput
+		logW += math.Log(runRep.RuntimeDynamic + runRep.Leakage())
+	}
+	n := float64(len(p.Workloads))
+	cand.Perf = sumPerf / n
+	cand.RunW = math.Exp(logW / n)
+	cand.Feasible = true
+
+	d := 1 / cand.Perf
+	e := cand.RunW * d // energy per instruction
+	switch obj {
+	case MaxThroughput:
+		cand.Score = cand.Perf
+	case MaxPerfPerWatt:
+		cand.Score = cand.Perf / cand.RunW
+	case MinED2AP:
+		cand.Score = 1 / (e * d * d * cand.AreaMM2)
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,227 @@
+// Package floorplan places the chip's top-level blocks on the die and
+// derives the geometric quantities the power/timing models consume:
+// die dimensions, block positions, Manhattan distances between connected
+// blocks, and total interconnect wire length. The chip model uses
+// sqrt-of-area estimates internally; this package provides the explicit
+// layout view for floorplan-sensitive analyses (link-length distributions,
+// worst-case routes, edge placement of pad-bound blocks).
+//
+// The planner is deliberately simple and deterministic: tiles (replicated
+// core+cache slices) fill a near-square grid, and peripheral blocks
+// (memory controllers, I/O) line the die edges where their pads must sit.
+package floorplan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Block is one top-level component to place.
+type Block struct {
+	Name string
+	Area float64 // m^2
+	// OnEdge pins the block to the die boundary (pad-bound: MC PHYs,
+	// SerDes, PCIe).
+	OnEdge bool
+}
+
+// Placement is a placed block.
+type Placement struct {
+	Block
+	X, Y float64 // lower-left corner (m)
+	W, H float64 // dimensions (m)
+}
+
+// CenterX returns the block-center abscissa.
+func (p Placement) CenterX() float64 { return p.X + p.W/2 }
+
+// CenterY returns the block-center ordinate.
+func (p Placement) CenterY() float64 { return p.Y + p.H/2 }
+
+// Plan is a completed floorplan.
+type Plan struct {
+	Width, Height float64 // die dimensions (m)
+	Items         []Placement
+
+	// TilePitchX/Y is the spacing of the tile grid (m); zero if no tiles.
+	TilePitchX, TilePitchY float64
+	// Rows and Cols describe the tile grid.
+	Rows, Cols int
+}
+
+// Grid builds a floorplan: count copies of the tile block arranged in a
+// near-square grid, with the peripheral blocks stacked along the bottom
+// edge. aspect is the desired tile aspect ratio (height/width, 1 = square
+// tiles).
+func Grid(tile Block, count int, periph []Block, aspect float64) (*Plan, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("floorplan: tile count must be positive")
+	}
+	if tile.Area <= 0 {
+		return nil, fmt.Errorf("floorplan: tile %q needs a positive area", tile.Name)
+	}
+	if aspect <= 0 {
+		aspect = 1
+	}
+
+	cols := int(math.Ceil(math.Sqrt(float64(count))))
+	rows := (count + cols - 1) / cols
+
+	tileW := math.Sqrt(tile.Area / aspect)
+	tileH := aspect * tileW
+
+	coreW := float64(cols) * tileW
+	coreH := float64(rows) * tileH
+
+	// Peripheral strip along the bottom: full core width, height from the
+	// summed peripheral area.
+	var periphArea float64
+	for _, b := range periph {
+		if b.Area < 0 {
+			return nil, fmt.Errorf("floorplan: block %q has negative area", b.Name)
+		}
+		periphArea += b.Area
+	}
+	stripH := 0.0
+	if periphArea > 0 {
+		stripH = periphArea / coreW
+	}
+
+	plan := &Plan{
+		Width:      coreW,
+		Height:     coreH + stripH,
+		TilePitchX: tileW,
+		TilePitchY: tileH,
+		Rows:       rows,
+		Cols:       cols,
+	}
+
+	// Tiles: row-major from the top of the peripheral strip.
+	for i := 0; i < count; i++ {
+		r, c := i/cols, i%cols
+		plan.Items = append(plan.Items, Placement{
+			Block: Block{Name: fmt.Sprintf("%s[%d]", tile.Name, i), Area: tile.Area},
+			X:     float64(c) * tileW,
+			Y:     stripH + float64(r)*tileH,
+			W:     tileW, H: tileH,
+		})
+	}
+	// Peripherals: side by side along the bottom edge, widths in
+	// proportion to their areas.
+	x := 0.0
+	for _, b := range periph {
+		if b.Area == 0 {
+			continue
+		}
+		w := b.Area / math.Max(stripH, 1e-12)
+		plan.Items = append(plan.Items, Placement{
+			Block: b,
+			X:     x, Y: 0, W: w, H: stripH,
+		})
+		x += w
+	}
+	return plan, nil
+}
+
+// Find returns the placement of the named block.
+func (p *Plan) Find(name string) (Placement, bool) {
+	for _, it := range p.Items {
+		if it.Name == name {
+			return it, true
+		}
+	}
+	return Placement{}, false
+}
+
+// Distance returns the Manhattan distance between two blocks' centers.
+func (p *Plan) Distance(a, b string) (float64, error) {
+	pa, ok := p.Find(a)
+	if !ok {
+		return 0, fmt.Errorf("floorplan: unknown block %q", a)
+	}
+	pb, ok := p.Find(b)
+	if !ok {
+		return 0, fmt.Errorf("floorplan: unknown block %q", b)
+	}
+	return math.Abs(pa.CenterX()-pb.CenterX()) + math.Abs(pa.CenterY()-pb.CenterY()), nil
+}
+
+// MeshWireLength returns the total length of nearest-neighbor mesh links
+// over the tile grid (each adjacent tile pair one link).
+func (p *Plan) MeshWireLength() float64 {
+	if p.Rows == 0 || p.Cols == 0 {
+		return 0
+	}
+	horizontal := float64(p.Rows*(p.Cols-1)) * p.TilePitchX
+	vertical := float64(p.Cols*(p.Rows-1)) * p.TilePitchY
+	return horizontal + vertical
+}
+
+// AverageTileDistance returns the mean Manhattan distance between all
+// distinct tile pairs - the expected flight distance of uniform-random
+// traffic.
+func (p *Plan) AverageTileDistance() float64 {
+	var tiles []Placement
+	for _, it := range p.Items {
+		if it.OnEdge {
+			continue
+		}
+		tiles = append(tiles, it)
+	}
+	n := len(tiles)
+	if n < 2 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sum += math.Abs(tiles[i].CenterX()-tiles[j].CenterX()) +
+				math.Abs(tiles[i].CenterY()-tiles[j].CenterY())
+		}
+	}
+	return sum / float64(n*(n-1)/2)
+}
+
+// MaxRouteLength returns the longest Manhattan route between any two
+// placed blocks (the worst-case global wire).
+func (p *Plan) MaxRouteLength() float64 {
+	var max float64
+	for i := range p.Items {
+		for j := i + 1; j < len(p.Items); j++ {
+			d := math.Abs(p.Items[i].CenterX()-p.Items[j].CenterX()) +
+				math.Abs(p.Items[i].CenterY()-p.Items[j].CenterY())
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// Utilization returns placed area over die area (1.0 = perfectly packed).
+func (p *Plan) Utilization() float64 {
+	die := p.Width * p.Height
+	if die <= 0 {
+		return 0
+	}
+	var placed float64
+	for _, it := range p.Items {
+		placed += it.W * it.H
+	}
+	return placed / die
+}
+
+// String renders a compact textual floorplan summary.
+func (p *Plan) String() string {
+	s := fmt.Sprintf("die %.2f x %.2f mm (%d x %d tiles, %.0f%% utilized)\n",
+		p.Width*1e3, p.Height*1e3, p.Cols, p.Rows, 100*p.Utilization())
+	items := make([]Placement, len(p.Items))
+	copy(items, p.Items)
+	sort.Slice(items, func(i, j int) bool { return items[i].Name < items[j].Name })
+	for _, it := range items {
+		s += fmt.Sprintf("  %-16s @ (%.2f, %.2f) mm  %.2f x %.2f mm\n",
+			it.Name, it.X*1e3, it.Y*1e3, it.W*1e3, it.H*1e3)
+	}
+	return s
+}

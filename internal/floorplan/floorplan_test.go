@@ -1,0 +1,148 @@
+package floorplan
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func plan16(t *testing.T) *Plan {
+	t.Helper()
+	p, err := Grid(
+		Block{Name: "tile", Area: 4e-6}, 16,
+		[]Block{
+			{Name: "mc0", Area: 3e-6, OnEdge: true},
+			{Name: "mc1", Area: 3e-6, OnEdge: true},
+			{Name: "pcie", Area: 2e-6, OnEdge: true},
+		}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestGridGeometry(t *testing.T) {
+	p := plan16(t)
+	if p.Rows != 4 || p.Cols != 4 {
+		t.Fatalf("16 tiles should form a 4x4 grid, got %dx%d", p.Cols, p.Rows)
+	}
+	// 16 x 4mm^2 tiles = 64mm^2 core + 8mm^2 periphery = 72mm^2 die.
+	die := p.Width * p.Height * 1e6
+	if die < 71.9 || die > 72.1 {
+		t.Errorf("die area = %.2f mm^2, want 72", die)
+	}
+	if u := p.Utilization(); u < 0.999 || u > 1.001 {
+		t.Errorf("grid plan should be fully packed, utilization %.3f", u)
+	}
+	// Tiles must not overlap the peripheral strip.
+	tile, _ := p.Find("tile[0]")
+	mc, _ := p.Find("mc0")
+	if tile.Y < mc.Y+mc.H-1e-12 {
+		t.Error("tiles must sit above the peripheral strip")
+	}
+}
+
+func TestDistances(t *testing.T) {
+	p := plan16(t)
+	// Adjacent tiles: one pitch apart.
+	d, err := p.Distance("tile[0]", "tile[1]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-p.TilePitchX) > 1e-12 {
+		t.Errorf("adjacent tile distance %.4g != pitch %.4g", d, p.TilePitchX)
+	}
+	// Diagonal corners: 3 pitches in each dimension.
+	d, _ = p.Distance("tile[0]", "tile[15]")
+	want := 3*p.TilePitchX + 3*p.TilePitchY
+	if math.Abs(d-want) > 1e-12 {
+		t.Errorf("corner distance %.4g != %.4g", d, want)
+	}
+	if _, err := p.Distance("tile[0]", "nonexistent"); err == nil {
+		t.Error("unknown block must fail")
+	}
+}
+
+func TestMeshWireLength(t *testing.T) {
+	p := plan16(t)
+	// 4x4 mesh: 4 rows x 3 horizontal + 4 cols x 3 vertical = 24 links.
+	want := 12*p.TilePitchX + 12*p.TilePitchY
+	if got := p.MeshWireLength(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("mesh wire length %.4g != %.4g", got, want)
+	}
+}
+
+func TestAverageTileDistance(t *testing.T) {
+	p := plan16(t)
+	avg := p.AverageTileDistance()
+	// For a 4x4 grid with unit pitch: the sum of |dx|+|dy| over all 256
+	// ordered pairs is 640 pitches; over the 240 ordered distinct pairs
+	// the mean is 640/240 = 8/3 pitches.
+	want := 8.0 / 3.0 * p.TilePitchX
+	if math.Abs(avg-want)/want > 0.01 {
+		t.Errorf("average tile distance %.4g, want %.4g", avg, want)
+	}
+	if p.MaxRouteLength() <= avg {
+		t.Error("max route must exceed the average")
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	s := plan16(t).String()
+	for _, frag := range []string{"4 x 4 tiles", "tile[0]", "mc1", "pcie"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("summary missing %q", frag)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Grid(Block{Name: "t", Area: 1e-6}, 0, nil, 1); err == nil {
+		t.Error("zero tiles must fail")
+	}
+	if _, err := Grid(Block{Name: "t"}, 4, nil, 1); err == nil {
+		t.Error("zero tile area must fail")
+	}
+	if _, err := Grid(Block{Name: "t", Area: 1e-6}, 4,
+		[]Block{{Name: "bad", Area: -1}}, 1); err == nil {
+		t.Error("negative peripheral area must fail")
+	}
+}
+
+func TestNoPeripherals(t *testing.T) {
+	p, err := Grid(Block{Name: "tile", Area: 1e-6}, 4, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Height != p.Width {
+		t.Errorf("4 square tiles should make a square die: %.4g x %.4g", p.Width, p.Height)
+	}
+}
+
+func TestQuickConservation(t *testing.T) {
+	// Property: for any tile count, total placed area equals the sum of
+	// the block areas and nothing falls outside the die.
+	f := func(n uint8, a uint8) bool {
+		count := int(n%63) + 1
+		area := (1 + float64(a%50)) * 1e-7
+		p, err := Grid(Block{Name: "t", Area: area}, count,
+			[]Block{{Name: "mc", Area: area * 2, OnEdge: true}}, 1)
+		if err != nil {
+			return false
+		}
+		var placed float64
+		for _, it := range p.Items {
+			if it.X < -1e-12 || it.Y < -1e-12 ||
+				it.X+it.W > p.Width+1e-9 || it.Y+it.H > p.Height+1e-9 {
+				return false
+			}
+			placed += it.W * it.H
+		}
+		want := float64(count)*area + area*2
+		return math.Abs(placed-want) <= 1e-6*want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,200 @@
+package interconnect
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mcpat/internal/tech"
+)
+
+func routerCfg() RouterConfig {
+	return RouterConfig{
+		Tech:            tech.MustByFeature(65),
+		Dev:             tech.HP,
+		FlitBits:        128,
+		Ports:           5,
+		VirtualChannels: 4,
+		BuffersPerVC:    4,
+	}
+}
+
+func TestRouterPlausible(t *testing.T) {
+	r, err := NewRouter(routerCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("5-port 128b router @65nm: area=%.4f mm^2 E/flit=%.2f pJ leak=%.4f W",
+		r.Area*1e6, r.Energy.Read*1e12, r.Static.Total())
+	if pj := r.Energy.Read * 1e12; pj < 5 || pj > 400 {
+		t.Errorf("per-flit energy = %.1f pJ, implausible", pj)
+	}
+	if mm2 := r.Area * 1e6; mm2 < 0.01 || mm2 > 2 {
+		t.Errorf("router area = %.4f mm^2, implausible", mm2)
+	}
+	if r.Buffers.Area <= 0 || r.Crossbar.Area <= 0 || r.Arbiters.Area <= 0 {
+		t.Error("router breakdown components must all have area")
+	}
+}
+
+func TestRouterScalesWithPortsAndWidth(t *testing.T) {
+	base, _ := NewRouter(routerCfg())
+	cfg := routerCfg()
+	cfg.Ports = 8
+	wide, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Crossbar.Energy.Read <= base.Crossbar.Energy.Read {
+		t.Error("more ports must increase crossbar energy")
+	}
+	cfg = routerCfg()
+	cfg.FlitBits = 256
+	fat, _ := NewRouter(cfg)
+	if fat.Energy.Read <= base.Energy.Read {
+		t.Error("wider flits must increase per-flit energy")
+	}
+}
+
+func TestRouterValidation(t *testing.T) {
+	if _, err := NewRouter(RouterConfig{}); err == nil {
+		t.Error("nil tech must fail")
+	}
+	cfg := routerCfg()
+	cfg.Ports = 1
+	if _, err := NewRouter(cfg); err == nil {
+		t.Error("1-port router must fail")
+	}
+	cfg = routerCfg()
+	cfg.VirtualChannels = 0
+	cfg.BuffersPerVC = 0
+	if _, err := NewRouter(cfg); err != nil {
+		t.Errorf("zero VC/buffers should default, got %v", err)
+	}
+}
+
+func TestLinkEnergyScalesWithLength(t *testing.T) {
+	mk := func(mm float64) *Link {
+		l, err := NewLink(LinkConfig{
+			Tech: tech.MustByFeature(65), Dev: tech.HP,
+			FlitBits: 128, Length: mm * 1e-3, Clock: 1.4e9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	l1, l4 := mk(1), mk(4)
+	ratio := l4.Energy.Read / l1.Energy.Read
+	if ratio < 3 || ratio > 5.5 {
+		t.Errorf("4x longer link energy ratio = %.2f, want ~4", ratio)
+	}
+	long := mk(20)
+	if long.Stages < 2 {
+		t.Errorf("20mm link at 1.4GHz must pipeline, stages=%d", long.Stages)
+	}
+}
+
+func TestBus(t *testing.T) {
+	b, err := NewBus(BusConfig{
+		Tech: tech.MustByFeature(65), Dev: tech.HP,
+		Bits: 256, Length: 10e-3, Agents: 8, Clock: 1.4e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Energy.Read <= 0 || b.Static.Total() <= 0 {
+		t.Fatalf("invalid bus: %+v", b.PAT)
+	}
+	// More agents add load.
+	wide, _ := NewBus(BusConfig{
+		Tech: tech.MustByFeature(65), Dev: tech.HP,
+		Bits: 256, Length: 10e-3, Agents: 32, Clock: 1.4e9,
+	})
+	if wide.Energy.Read <= b.Energy.Read {
+		t.Error("more agents must increase bus transfer energy")
+	}
+	if _, err := NewBus(BusConfig{Tech: tech.MustByFeature(65), Bits: 0, Agents: 4}); err == nil {
+		t.Error("zero-width bus must fail")
+	}
+}
+
+func TestFlatCrossbar(t *testing.T) {
+	x, err := NewCrossbar(CrossbarConfig{
+		Tech: tech.MustByFeature(90), Dev: tech.HP,
+		InPorts: 8, OutPorts: 9, Bits: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Niagara-style 8x9 128b crossbar @90nm: area=%.3f mm^2 E/xfer=%.1f pJ leak=%.3f W",
+		x.Area*1e6, x.Energy.Read*1e12, x.Static.Total())
+	if mm2 := x.Area * 1e6; mm2 < 0.5 || mm2 > 40 {
+		t.Errorf("crossbar area = %.3f mm^2, implausible for 8x9x128", mm2)
+	}
+	small, _ := NewCrossbar(CrossbarConfig{
+		Tech: tech.MustByFeature(90), Dev: tech.HP,
+		InPorts: 2, OutPorts: 2, Bits: 128,
+	})
+	if small.Energy.Read >= x.Energy.Read {
+		t.Error("smaller crossbar must cost less per transfer")
+	}
+}
+
+func TestRouterTechnologyScaling(t *testing.T) {
+	cfg := routerCfg()
+	r65, _ := NewRouter(cfg)
+	cfg.Tech = tech.MustByFeature(22)
+	r22, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r22.Energy.Read >= r65.Energy.Read {
+		t.Error("22nm router must use less energy per flit than 65nm")
+	}
+	if r22.Area >= r65.Area {
+		t.Error("22nm router must be smaller")
+	}
+}
+
+func TestQuickRouterInvariants(t *testing.T) {
+	n := tech.MustByFeature(32)
+	f := func(p, v, w uint8) bool {
+		cfg := RouterConfig{
+			Tech: n, Dev: tech.HP,
+			Ports:           int(p%7) + 2,
+			VirtualChannels: int(v%8) + 1,
+			BuffersPerVC:    2,
+			FlitBits:        32 * (int(w%8) + 1),
+		}
+		r, err := NewRouter(cfg)
+		if err != nil {
+			return false
+		}
+		return r.Energy.Read > 0 && r.Area > 0 && r.Static.Sub > 0 && r.Delay > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLowSwingBusSavesEnergy(t *testing.T) {
+	mk := func(low bool) *Link {
+		b, err := NewBus(BusConfig{
+			Tech: tech.MustByFeature(65), Dev: tech.HP,
+			Bits: 256, Length: 12e-3, Agents: 8, Clock: 1.4e9,
+			LowSwing: low,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	full, low := mk(false), mk(true)
+	if low.Energy.Read >= full.Energy.Read {
+		t.Errorf("low-swing bus (%.3g J) must beat full-swing (%.3g J)",
+			low.Energy.Read, full.Energy.Read)
+	}
+	if low.Delay <= full.Delay {
+		t.Error("low-swing bus must be slower")
+	}
+}

@@ -1,0 +1,119 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mcpat/internal/tech"
+)
+
+func TestFunctionalUnitReferenceValues(t *testing.T) {
+	n := tech.MustByFeature(90)
+	alu := FunctionalUnit(n, tech.HP, false, IntALU)
+	if pj := alu.Energy.Read * 1e12; pj < 5 || pj > 7 {
+		t.Errorf("90nm ALU energy = %.2f pJ, want ~6", pj)
+	}
+	if mm2 := alu.Area * 1e6; mm2 < 0.10 || mm2 > 0.12 {
+		t.Errorf("90nm ALU area = %.3f mm^2, want ~0.11", mm2)
+	}
+	fpu := FunctionalUnit(n, tech.HP, false, FPU)
+	if fpu.Energy.Read <= alu.Energy.Read || fpu.Area <= alu.Area {
+		t.Error("FPU must be bigger and hungrier than an ALU")
+	}
+	mul := FunctionalUnit(n, tech.HP, false, MulDiv)
+	if !(mul.Energy.Read > alu.Energy.Read && mul.Energy.Read < fpu.Energy.Read) {
+		t.Error("MulDiv energy should sit between ALU and FPU")
+	}
+}
+
+func TestFunctionalUnitScaling(t *testing.T) {
+	a90 := FunctionalUnit(tech.MustByFeature(90), tech.HP, false, IntALU)
+	a45 := FunctionalUnit(tech.MustByFeature(45), tech.HP, false, IntALU)
+	areaRatio := a90.Area / a45.Area
+	if areaRatio < 3.5 || areaRatio > 4.5 {
+		t.Errorf("90->45 ALU area ratio = %.2f, want ~4", areaRatio)
+	}
+	if a45.Energy.Read >= a90.Energy.Read {
+		t.Error("scaling must reduce FU energy")
+	}
+	if a45.Delay >= a90.Delay {
+		t.Error("scaling must reduce FU delay")
+	}
+}
+
+func TestFunctionalUnitDeviceClasses(t *testing.T) {
+	n := tech.MustByFeature(45)
+	hp := FunctionalUnit(n, tech.HP, false, FPU)
+	lstp := FunctionalUnit(n, tech.LSTP, false, FPU)
+	if lstp.Static.Sub >= hp.Static.Sub {
+		t.Errorf("LSTP FPU leakage (%.3g) must be far below HP (%.3g)", lstp.Static.Sub, hp.Static.Sub)
+	}
+	if lstp.Delay <= hp.Delay {
+		t.Error("LSTP FPU must be slower than HP")
+	}
+	lc := FunctionalUnit(n, tech.HP, true, FPU)
+	if lc.Static.Sub >= hp.Static.Sub*0.2 {
+		t.Errorf("long-channel leakage (%.3g) should be ~10%% of standard (%.3g)", lc.Static.Sub, hp.Static.Sub)
+	}
+}
+
+func TestDecoder(t *testing.T) {
+	n := tech.MustByFeature(65)
+	risc := Decoder(n, tech.HP, false, DecoderConfig{Width: 4, OpcodeBits: 8})
+	cisc := Decoder(n, tech.HP, false, DecoderConfig{Width: 4, OpcodeBits: 8, X86: true})
+	if cisc.Energy.Read <= risc.Energy.Read || cisc.Area <= risc.Area {
+		t.Error("x86 decode must cost more than RISC decode")
+	}
+	if risc.Energy.Read <= 0 || risc.Delay <= 0 {
+		t.Errorf("invalid decoder result: %+v", risc)
+	}
+	// Defaults for zero-valued config.
+	def := Decoder(n, tech.HP, false, DecoderConfig{})
+	if def.Energy.Read <= 0 {
+		t.Error("default decoder config must be valid")
+	}
+}
+
+func TestDependencyCheckQuadraticInWidth(t *testing.T) {
+	n := tech.MustByFeature(65)
+	w2 := DependencyCheck(n, tech.HP, false, 2, 7)
+	w8 := DependencyCheck(n, tech.HP, false, 8, 7)
+	ratio := w8.Energy.Read / w2.Energy.Read
+	if ratio < 10 || ratio > 40 {
+		t.Errorf("2->8 wide dep-check energy ratio = %.1f, want ~28 (quadratic)", ratio)
+	}
+	w1 := DependencyCheck(n, tech.HP, false, 1, 7)
+	if w1.Energy.Read <= 0 {
+		t.Error("scalar dep-check should still have minimal cost")
+	}
+}
+
+func TestSelectionGrowsWithWindow(t *testing.T) {
+	n := tech.MustByFeature(65)
+	s16 := Selection(n, tech.HP, false, 16, 4)
+	s128 := Selection(n, tech.HP, false, 128, 4)
+	if s128.Energy.Read <= s16.Energy.Read {
+		t.Error("larger window must cost more select energy")
+	}
+	if s128.Delay <= s16.Delay {
+		t.Error("larger window must have deeper select tree")
+	}
+	if s128.Area <= s16.Area {
+		t.Error("larger window must use more arbiter area")
+	}
+}
+
+func TestQuickLogicPositive(t *testing.T) {
+	n := tech.MustByFeature(32)
+	f := func(w, tb uint8) bool {
+		width := int(w%8) + 1
+		tag := int(tb%10) + 4
+		d := DependencyCheck(n, tech.HP, false, width, tag)
+		s := Selection(n, tech.HP, false, width*16, width)
+		return d.Energy.Read > 0 && d.Area > 0 && d.Static.Sub > 0 &&
+			s.Energy.Read > 0 && s.Area > 0 && s.Delay > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,202 @@
+// Package m5compat reads M5/gem5-style statistics dumps (the format the
+// original McPAT consumed through its XML generation scripts) and converts
+// them into this framework's runtime-statistics vector.
+//
+// A stats.txt file is a sequence of dumps delimited by
+// "---------- Begin Simulation Statistics ----------" lines; each line is
+//
+//	<name>  <value>  # <description>
+//
+// Parse keeps one selected dump as a flat name->value map; ToChipStats
+// maps the well-known counter names onto per-cycle core activity and
+// chip-level traffic rates, averaging across cores (system.cpu0..N or
+// system.switch_cpus0..N prefixes both work).
+package m5compat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mcpat/internal/chip"
+	"mcpat/internal/core"
+)
+
+// Dump is one parsed statistics dump.
+type Dump map[string]float64
+
+const dumpDelimiter = "---------- Begin Simulation Statistics ----------"
+
+// Parse reads every dump in the stream and returns them in order. Lines
+// that do not parse as statistics (histogram rows, comments) are skipped.
+func Parse(r io.Reader) ([]Dump, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var dumps []Dump
+	var cur Dump
+	for sc.Scan() {
+		lineText := sc.Text()
+		if strings.Contains(lineText, dumpDelimiter) {
+			cur = Dump{}
+			dumps = append(dumps, cur)
+			continue
+		}
+		fields := strings.Fields(lineText)
+		if len(fields) < 2 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue // histogram buckets, "nan", etc.
+		}
+		if cur == nil {
+			// Tolerate files without the delimiter header.
+			cur = Dump{}
+			dumps = append(dumps, cur)
+		}
+		cur[fields[0]] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("m5compat: %w", err)
+	}
+	if len(dumps) == 0 {
+		return nil, fmt.Errorf("m5compat: no statistics found")
+	}
+	return dumps, nil
+}
+
+// ParseLast returns the final dump of the stream (the usual choice: the
+// region of interest is dumped last).
+func ParseLast(r io.Reader) (Dump, error) {
+	dumps, err := Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return dumps[len(dumps)-1], nil
+}
+
+// get sums a per-CPU statistic across all core prefixes and reports how
+// many cores carried it.
+func (d Dump) perCPU(suffix string) (sum float64, cores int) {
+	for _, prefix := range []string{"system.cpu", "system.switch_cpus"} {
+		for name, v := range d {
+			if !strings.HasPrefix(name, prefix) {
+				continue
+			}
+			rest := name[len(prefix):]
+			// Accept "0.suffix", "5.suffix", or ".suffix" (single core).
+			i := 0
+			for i < len(rest) && rest[i] >= '0' && rest[i] <= '9' {
+				i++
+			}
+			if rest[i:] == "."+suffix {
+				sum += v
+				cores++
+			}
+		}
+		if cores > 0 {
+			return sum, cores
+		}
+	}
+	return 0, 0
+}
+
+// first returns the first present statistic among names.
+func (d Dump) first(names ...string) (float64, bool) {
+	for _, n := range names {
+		if v, ok := d[n]; ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// ToChipStats converts a dump into the chip statistics vector for a chip
+// with the given core count and clock. Cycle counts come from the dump
+// itself (numCycles / sim_seconds x clock). Missing counters simply leave
+// their activity at zero - the same graceful degradation the original
+// scripts exhibit.
+func ToChipStats(d Dump, clockHz float64, numCores int) (*chip.Stats, error) {
+	if clockHz <= 0 || numCores <= 0 {
+		return nil, fmt.Errorf("m5compat: clock and core count required")
+	}
+	cycles, nc := d.perCPU("numCycles")
+	if nc > 0 {
+		cycles /= float64(nc) // average per core
+	} else if secs, ok := d.first("sim_seconds", "simSeconds"); ok {
+		cycles = secs * clockHz
+	}
+	if cycles <= 0 {
+		return nil, fmt.Errorf("m5compat: no cycle count (numCycles or sim_seconds) in dump")
+	}
+	seconds := cycles / clockHz
+
+	perCycle := func(suffix string) float64 {
+		v, n := d.perCPU(suffix)
+		if n == 0 {
+			return 0
+		}
+		return v / float64(n) / cycles
+	}
+
+	act := core.Activity{
+		ICacheAccess: perCycle("icache.overall_accesses::total"),
+		Decode:       perCycle("committedInsts"),
+		Rename:       perCycle("rename.RenamedOperands"),
+		IQIssue:      perCycle("iq.iqInstsIssued"),
+		IQWakeup:     perCycle("iq.iqInstsIssued"),
+		IQWrite:      perCycle("iq.iqInstsAdded"),
+		ROBAcc:       perCycle("rob.rob_reads") + perCycle("rob.rob_writes"),
+		RFRead:       perCycle("int_regfile_reads"),
+		RFWrite:      perCycle("int_regfile_writes"),
+		FPRFRead:     perCycle("fp_regfile_reads"),
+		FPRFWrite:    perCycle("fp_regfile_writes"),
+		IntOp:        perCycle("num_int_alu_accesses"),
+		FPOp:         perCycle("num_fp_alu_accesses"),
+		DCacheRead:   perCycle("dcache.ReadReq_accesses::total"),
+		DCacheWrite:  perCycle("dcache.WriteReq_accesses::total"),
+		CacheMiss:    perCycle("dcache.overall_misses::total") + perCycle("icache.overall_misses::total"),
+		BTBAccess:    perCycle("branchPred.BTBLookups"),
+		PredAccess:   perCycle("branchPred.lookups"),
+	}
+	if act.Decode == 0 {
+		act.Decode = perCycle("commit.committedInsts")
+	}
+	if act.IntOp == 0 {
+		act.IntOp = act.Decode * 0.5 // mix fallback
+	}
+	act.ITLBAccess = act.ICacheAccess
+	act.DTLBAccess = act.DCacheRead + act.DCacheWrite
+	act.LSQAccess = act.DTLBAccess
+	act.LSQSearch = act.DCacheWrite
+	act.Bypass = act.IntOp + act.FPOp + act.DCacheRead
+	ipc := act.Decode
+	if ipc > 1 {
+		ipc = 1
+	}
+	act.PipelineDuty = ipc
+
+	stats := &chip.Stats{CoreRun: act}
+	if v, ok := d.first("system.l2.overall_accesses::total", "system.l2cache.overall_accesses::total"); ok {
+		// Split reads/writes with the common 70/30 ratio unless explicit.
+		rd, rok := d.first("system.l2.ReadReq_accesses::total")
+		wr, wok := d.first("system.l2.WriteReq_accesses::total")
+		if rok || wok {
+			stats.L2Reads = rd / seconds
+			stats.L2Writes = wr / seconds
+		} else {
+			stats.L2Reads = 0.7 * v / seconds
+			stats.L2Writes = 0.3 * v / seconds
+		}
+	}
+	if v, ok := d.first("system.mem_ctrls.num_reads::total", "system.physmem.num_reads::total"); ok {
+		w, _ := d.first("system.mem_ctrls.num_writes::total", "system.physmem.num_writes::total")
+		stats.MCAccesses = (v + w) / seconds
+	}
+	if v, ok := d.first("system.tol2bus.pkt_count::total"); ok {
+		stats.NoCFlits = v / seconds
+	}
+	return stats, nil
+}

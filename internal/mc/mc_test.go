@@ -1,0 +1,108 @@
+package mc
+
+import (
+	"testing"
+
+	"mcpat/internal/tech"
+)
+
+func TestMemoryControllerPlausible(t *testing.T) {
+	c, err := New(Config{
+		Tech:          tech.MustByFeature(90),
+		Dev:           tech.HP,
+		Channels:      4,
+		DataBusBits:   64,
+		PeakBandwidth: 25e9, // ~25 GB/s aggregate (Niagara class)
+		LVDS:          true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("4-channel DDR2 MC @90nm: peak=%.2f W area=%.3f mm^2 E/txn=%.1f pJ leak=%.3f W",
+		c.PeakPower, c.Area*1e6, c.Energy.Read*1e12, c.Static.Total())
+	if c.PeakPower < 0.5 || c.PeakPower > 10 {
+		t.Errorf("MC peak power = %.2f W, want 0.5-10 W", c.PeakPower)
+	}
+	if c.FrontEnd.Area <= 0 || c.Backend.Area <= 0 || c.PHY.Area <= 0 {
+		t.Error("all MC components need area")
+	}
+	if c.PHY.Energy.Read <= c.Backend.Energy.Read {
+		t.Error("PHY should dominate per-transaction energy over backend")
+	}
+}
+
+func TestMCDefaults(t *testing.T) {
+	c, err := New(Config{Tech: tech.MustByFeature(65)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.cfg.Channels != 1 || c.cfg.RequestDepth != 32 {
+		t.Errorf("defaults not applied: %+v", c.cfg)
+	}
+	if c.PeakPower != 0 {
+		t.Error("no bandwidth given: peak power must be 0")
+	}
+}
+
+func TestMCFullSwingCostsMore(t *testing.T) {
+	mk := func(lvds bool) *Controller {
+		c, err := New(Config{Tech: tech.MustByFeature(65), Dev: tech.HP, Channels: 2, LVDS: lvds})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	if mk(true).PHY.Energy.Read >= mk(false).PHY.Energy.Read {
+		t.Error("LVDS PHY must be cheaper per bit than full swing")
+	}
+}
+
+func TestMCScaling(t *testing.T) {
+	mk := func(nm float64) *Controller {
+		c, err := New(Config{Tech: tech.MustByFeature(nm), Dev: tech.HP, Channels: 2, PeakBandwidth: 20e9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	if mk(32).Energy.Read >= mk(90).Energy.Read {
+		t.Error("32nm MC must use less energy per transaction than 90nm")
+	}
+}
+
+func TestNIU(t *testing.T) {
+	p, err := NewNIU(NIUConfig{Tech: tech.MustByFeature(65), Dev: tech.HP, Bandwidth: 10e9, Count: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At full 10 Gb/s per direction each: dynamic power = E/bit * rate.
+	dynW := p.Energy.Read * 2 * 10e9
+	total := dynW + p.Static.Total()
+	t.Logf("2x10GbE NIU @65nm: full-rate power = %.2f W", total)
+	if total < 0.5 || total > 8 {
+		t.Errorf("NIU full-rate power = %.2f W, want 0.5-8", total)
+	}
+	if _, err := NewNIU(NIUConfig{}); err == nil {
+		t.Error("nil tech must fail")
+	}
+}
+
+func TestPCIe(t *testing.T) {
+	p, err := NewPCIe(PCIeConfig{Tech: tech.MustByFeature(65), Dev: tech.HP, Lanes: 8, GbpsPerLane: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dynW := p.Energy.Read * 8 * 2.5e9
+	total := dynW + p.Static.Total()
+	t.Logf("PCIe Gen1 x8 @65nm: full-rate power = %.2f W", total)
+	if total < 0.3 || total > 6 {
+		t.Errorf("PCIe full-rate power = %.2f W, want 0.3-6", total)
+	}
+	d, err := NewPCIe(PCIeConfig{Tech: tech.MustByFeature(65)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Area <= 0 {
+		t.Error("default PCIe must have positive area")
+	}
+}

@@ -1,0 +1,163 @@
+package perfsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func machine(cores, cluster int) Machine {
+	return Machine{
+		Cores: cores, ThreadsPerCore: 4, IssueWidth: 1,
+		ClockHz:     2e9,
+		ClusterSize: cluster,
+		L2Latency:   20, FabricHopLat: 4, MemLatency: 200,
+		MemBandwidth: 50e9,
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	for _, w := range SPLASH2Like() {
+		r, err := Run(machine(16, 2), w)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if r.Runtime <= 0 || r.Throughput <= 0 {
+			t.Fatalf("%s: non-positive results %+v", w.Name, r)
+		}
+		if r.CoreIPC <= 0 || r.CoreIPC > float64(r.Machine.IssueWidth) {
+			t.Errorf("%s: IPC %v out of range", w.Name, r.CoreIPC)
+		}
+		if r.CoreUtil < 0 || r.CoreUtil > 1 {
+			t.Errorf("%s: utilization %v out of range", w.Name, r.CoreUtil)
+		}
+		t.Logf("%-6s IPC=%.3f CPI=%.2f busU=%.2f memU=%.2f runtime=%.3fs",
+			w.Name, r.CoreIPC, r.ThreadCPI, r.BusUtil, r.MemUtil, r.Runtime)
+	}
+}
+
+func TestMoreCoresMoreThroughput(t *testing.T) {
+	w := SPLASH2Like()[0]
+	r16, _ := Run(machine(16, 1), w)
+	r64, err := Run(machine(64, 1), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r64.Throughput <= r16.Throughput {
+		t.Errorf("64 cores (%.3g) must outrun 16 cores (%.3g)", r64.Throughput, r16.Throughput)
+	}
+	// At most linear (shared resources can only hurt).
+	if r64.Throughput > 4.001*r16.Throughput {
+		t.Errorf("scaling cannot be superlinear: %.3g vs %.3g", r64.Throughput, r16.Throughput)
+	}
+}
+
+func TestClusteringCostsPerformance(t *testing.T) {
+	// The case study's performance-side premise: larger clusters share an
+	// L2 bank and bus, so per-core throughput degrades mildly as cluster
+	// size grows.
+	// Clustering trades a small latency benefit (fewer mesh hops) against
+	// bus/bank sharing; throughput must stay within ~1% of flat until the
+	// bus approaches saturation, then fall.
+	w := SPLASH2Like()[1] // ocean, memory-heavy
+	prevBus := -1.0
+	base := 0.0
+	mk := func(c int) Machine {
+		m := machine(64, c)
+		m.MemBandwidth = 200e9 // provision DRAM so the fabric is exposed
+		return m
+	}
+	for _, c := range []int{1, 2, 4, 8} {
+		r, err := Run(mk(c), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("cluster=%d: throughput=%.4g busU=%.2f", c, r.Throughput, r.BusUtil)
+		if c == 1 {
+			base = r.Throughput
+		}
+		if r.Throughput > base*1.01 {
+			t.Errorf("cluster %d should not meaningfully beat private L2 (%.4g > %.4g)", c, r.Throughput, base)
+		}
+		if r.BusUtil <= prevBus {
+			t.Errorf("bus utilization must grow with cluster size")
+		}
+		prevBus = r.BusUtil
+	}
+	r1, _ := Run(mk(1), w)
+	r8, _ := Run(mk(8), w)
+	drop := 1 - r8.Throughput/r1.Throughput
+	if drop <= 0 || drop > 0.6 {
+		t.Errorf("8-way clustering perf drop = %.1f%%, want mild but nonzero", drop*100)
+	}
+}
+
+func TestMemoryBoundWorkloadSaturates(t *testing.T) {
+	w := SPLASH2Like()[1]
+	lo := machine(64, 1)
+	lo.MemBandwidth = 5e9 // starve the chip
+	r, err := Run(lo, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi := machine(64, 1)
+	hi.MemBandwidth = 500e9
+	r2, _ := Run(hi, w)
+	if r.Throughput >= r2.Throughput {
+		t.Error("more memory bandwidth must help a memory-bound workload")
+	}
+	if r.MemUtil < 0.9 {
+		t.Errorf("starved chip should saturate memory (util %.2f)", r.MemUtil)
+	}
+}
+
+func TestStatisticsConsistency(t *testing.T) {
+	w := SPLASH2Like()[0]
+	r, err := Run(machine(32, 4), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := r.CoreActivity
+	if a.Decode <= 0 || a.PipelineDuty <= 0 || a.PipelineDuty > 1 {
+		t.Errorf("bad activity: %+v", a)
+	}
+	// Instruction mix fractions must roughly add up inside decode rate.
+	sum := a.IntOp + a.MulOp + a.FPOp + a.DCacheRead + a.DCacheWrite
+	if sum > a.Decode*1.05 {
+		t.Errorf("op rates (%.3f) exceed decode rate (%.3f)", sum, a.Decode)
+	}
+	if r.L2ReadsSec+r.L2WritesSec <= 0 || r.MemAccessesS <= 0 {
+		t.Error("traffic statistics missing")
+	}
+	if r.MemAccessesS >= r.L2AccessesSec {
+		t.Error("memory traffic cannot exceed L2 traffic")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := Run(Machine{}, SPLASH2Like()[0]); err == nil {
+		t.Error("empty machine must fail")
+	}
+	if _, err := Run(machine(4, 1), Workload{Name: "empty"}); err == nil {
+		t.Error("empty workload must fail")
+	}
+}
+
+func TestQuickModelStability(t *testing.T) {
+	w := SPLASH2Like()[2]
+	f := func(c, cl uint8) bool {
+		cores := 4 * (int(c%16) + 1) // 4..64
+		cluster := 1 << (cl % 4)     // 1..8
+		if cluster > cores {
+			cluster = cores
+		}
+		r, err := Run(machine(cores, cluster), w)
+		if err != nil {
+			return false
+		}
+		return r.Runtime > 0 && r.CoreIPC > 0 && r.CoreIPC <= 1.0001 &&
+			r.BusUtil <= 0.99 && r.MemUtil <= 0.99
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,55 @@
+package power
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonItem is the serialized form of a report node. Power is in watts and
+// area in mm^2, the units external tooling expects.
+type jsonItem struct {
+	Name          string     `json:"name"`
+	AreaMM2       float64    `json:"area_mm2"`
+	PeakDynamicW  float64    `json:"peak_dynamic_w"`
+	RuntimeDynW   float64    `json:"runtime_dynamic_w,omitempty"`
+	SubLeakW      float64    `json:"subthreshold_leakage_w"`
+	GateLeakW     float64    `json:"gate_leakage_w"`
+	LeakSavedW    float64    `json:"gated_leakage_w,omitempty"`
+	PeakTotalW    float64    `json:"peak_total_w"`
+	RuntimeTotalW float64    `json:"runtime_total_w,omitempty"`
+	Children      []jsonItem `json:"children,omitempty"`
+}
+
+func (it *Item) toJSON() jsonItem {
+	j := jsonItem{
+		Name:         it.Name,
+		AreaMM2:      it.Area * 1e6,
+		PeakDynamicW: it.PeakDynamic,
+		RuntimeDynW:  it.RuntimeDynamic,
+		SubLeakW:     it.SubLeak,
+		GateLeakW:    it.GateLeak,
+		LeakSavedW:   it.LeakSaved,
+		PeakTotalW:   it.Peak(),
+	}
+	if it.RuntimeDynamic > 0 {
+		j.RuntimeTotalW = it.Runtime()
+	}
+	for _, c := range it.Children {
+		j.Children = append(j.Children, c.toJSON())
+	}
+	return j
+}
+
+// MarshalJSON serializes the report tree with engineering units (watts,
+// mm^2), so downstream tooling does not need to know the internal SI
+// conventions.
+func (it *Item) MarshalJSON() ([]byte, error) {
+	return json.Marshal(it.toJSON())
+}
+
+// WriteJSON writes the indented JSON form of the subtree.
+func (it *Item) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(it)
+}

@@ -1,0 +1,188 @@
+// Package presets ships ready-to-run chip descriptions, the counterpart
+// of the configuration templates the original McPAT distribution includes
+// (Niagara/Alpha/Xeon validation targets plus ARM- and x86-class
+// processors). Each preset is a complete chip.Config that synthesizes out
+// of the box and can be dumped to XML as a starting point for user
+// modifications.
+package presets
+
+import (
+	"fmt"
+	"sort"
+
+	"mcpat/internal/cache"
+	"mcpat/internal/chip"
+	"mcpat/internal/core"
+	"mcpat/internal/mc"
+	"mcpat/internal/tech"
+	"mcpat/internal/validation"
+)
+
+// Preset couples a name and description with a chip configuration.
+type Preset struct {
+	Name        string
+	Description string
+	Config      chip.Config
+}
+
+// ARMA9 returns a Cortex-A9-class embedded chip: dual 2-wide out-of-order
+// cores at 45 nm / 1 GHz with a small shared L2 - the low-power end of
+// the design space.
+func ARMA9() Preset {
+	return Preset{
+		Name:        "arm-a9",
+		Description: "dual-core Cortex-A9-class embedded SoC, 45nm, 1GHz, LOP devices",
+		Config: chip.Config{
+			Name:    "arm-a9-duo",
+			NM:      45,
+			ClockHz: 1.0e9,
+			// Embedded parts ship on low-operating-power processes.
+			Dev:      tech.LOP,
+			NumCores: 2,
+			Core: core.Config{
+				Name:       "a9-core",
+				OoO:        true,
+				FetchWidth: 2, DecodeWidth: 2, IssueWidth: 2, CommitWidth: 2,
+				PipelineDepth: 8,
+				ROBEntries:    40, IQEntries: 16, FPIQEntries: 8,
+				PhysIntRegs: 56, PhysFPRegs: 32,
+				ICache:            core.CacheParams{Bytes: 32 << 10, BlockBytes: 32, Assoc: 4},
+				DCache:            core.CacheParams{Bytes: 32 << 10, BlockBytes: 32, Assoc: 4},
+				BTBEntries:        512,
+				GlobalPredEntries: 4096,
+				RASEntries:        8,
+				ITLBEntries:       32, DTLBEntries: 32,
+				IntALUs: 2, FPUs: 1, MulDivs: 1,
+				LQEntries: 8, SQEntries: 8,
+				GlueGates: 900e3,
+			},
+			L2: &cache.Config{
+				Name: "L2", Bytes: 512 << 10, BlockBytes: 32, Assoc: 8, Banks: 2,
+			},
+			NoC: chip.NoCSpec{Kind: chip.Bus, FlitBits: 64},
+			MC: &mc.Config{
+				Channels: 1, DataBusBits: 32,
+				PeakBandwidth: 4e9, LVDS: true,
+			},
+		},
+	}
+}
+
+// AtomClass returns an Atom-class in-order x86 chip: dual 2-wide in-order
+// SMT cores at 45 nm.
+func AtomClass() Preset {
+	return Preset{
+		Name:        "atom-class",
+		Description: "dual-core in-order x86 netbook chip, 45nm, 1.6GHz",
+		Config: chip.Config{
+			Name:     "atom-class-duo",
+			NM:       45,
+			ClockHz:  1.6e9,
+			NumCores: 2,
+			Core: core.Config{
+				Name:       "atom-core",
+				X86:        true,
+				Threads:    2,
+				FetchWidth: 2, DecodeWidth: 2, IssueWidth: 2, CommitWidth: 2,
+				PipelineDepth: 16,
+				ICache:        core.CacheParams{Bytes: 32 << 10, BlockBytes: 64, Assoc: 8},
+				DCache:        core.CacheParams{Bytes: 24 << 10, BlockBytes: 64, Assoc: 6},
+				BTBEntries:    4096, GlobalPredEntries: 4096, RASEntries: 8,
+				ITLBEntries: 32, DTLBEntries: 32,
+				IntALUs: 2, FPUs: 1, MulDivs: 1,
+				LQEntries: 12, SQEntries: 8,
+				GlueGates: 1.4e6,
+			},
+			L2: &cache.Config{
+				Name: "L2", Bytes: 1 << 20, BlockBytes: 64, Assoc: 8, Banks: 2,
+			},
+			NoC: chip.NoCSpec{Kind: chip.Bus, FlitBits: 64},
+			MC: &mc.Config{
+				Channels: 1, DataBusBits: 64,
+				PeakBandwidth: 8.5e9, LVDS: true,
+			},
+		},
+	}
+}
+
+// PenrynClass returns a Penryn-class laptop chip: dual 4-wide OoO x86
+// cores at 45 nm with a large shared L2.
+func PenrynClass() Preset {
+	return Preset{
+		Name:        "penryn-class",
+		Description: "dual-core 4-wide OoO x86 laptop chip, 45nm, 2.4GHz",
+		Config: chip.Config{
+			Name:     "penryn-class-duo",
+			NM:       45,
+			ClockHz:  2.4e9,
+			NumCores: 2,
+			Core: core.Config{
+				Name:       "penryn-core",
+				OoO:        true,
+				X86:        true,
+				FetchWidth: 4, DecodeWidth: 4, IssueWidth: 6, CommitWidth: 4,
+				PipelineDepth: 14,
+				ROBEntries:    96, IQEntries: 32, FPIQEntries: 32,
+				PhysIntRegs: 128, PhysFPRegs: 128,
+				ICache:            core.CacheParams{Bytes: 32 << 10, BlockBytes: 64, Assoc: 8},
+				DCache:            core.CacheParams{Bytes: 32 << 10, BlockBytes: 64, Assoc: 8, Ports: 2},
+				BTBEntries:        4096,
+				LocalPredEntries:  2048,
+				GlobalPredEntries: 8192,
+				ChooserEntries:    8192,
+				RASEntries:        16,
+				ITLBEntries:       128, DTLBEntries: 256,
+				IntALUs: 3, FPUs: 2, MulDivs: 1,
+				LQEntries: 32, SQEntries: 20,
+				GlueGates: 5e6, GlueActivity: 0.15,
+			},
+			L2: &cache.Config{
+				Name: "L2", Bytes: 6 << 20, BlockBytes: 64, Assoc: 24, Banks: 2,
+			},
+			NoC: chip.NoCSpec{Kind: chip.Bus, FlitBits: 128},
+			MC: &mc.Config{
+				Channels: 1, DataBusBits: 64,
+				PeakBandwidth: 12.8e9, LVDS: false, // FSB
+			},
+		},
+	}
+}
+
+// All returns every preset: the three processor-class templates plus the
+// four validation targets.
+func All() []Preset {
+	out := []Preset{ARMA9(), AtomClass(), PenrynClass()}
+	for _, t := range validation.All() {
+		out = append(out, Preset{
+			Name:        shortName(t.Ref.Name),
+			Description: t.Ref.Name + " validation target",
+			Config:      t.Chip,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func shortName(ref string) string {
+	switch {
+	case ref == "Niagara (UltraSPARC T1)":
+		return "niagara"
+	case ref == "Niagara2 (UltraSPARC T2)":
+		return "niagara2"
+	case ref == "Alpha 21364 (EV7)":
+		return "alpha21364"
+	case ref == "Xeon Tulsa (7100)":
+		return "xeon-tulsa"
+	}
+	return ref
+}
+
+// ByName looks a preset up by its short name.
+func ByName(name string) (Preset, error) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Preset{}, fmt.Errorf("presets: unknown preset %q", name)
+}

@@ -1,0 +1,79 @@
+package presets
+
+import (
+	"testing"
+
+	"mcpat/internal/chip"
+	"mcpat/internal/tech"
+)
+
+func TestAllPresetsSynthesize(t *testing.T) {
+	all := All()
+	if len(all) != 7 {
+		t.Fatalf("expected 7 presets (3 templates + 4 validation), got %d", len(all))
+	}
+	for _, p := range all {
+		proc, err := chip.New(p.Config)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		rep := proc.Report(nil)
+		if rep.Peak() <= 0 || rep.Area <= 0 {
+			t.Errorf("%s: degenerate report", p.Name)
+		}
+		if p.Description == "" {
+			t.Errorf("%s: missing description", p.Name)
+		}
+		t.Logf("%-14s TDP %7.1f W  area %7.1f mm2", p.Name, rep.Peak(), rep.Area*1e6)
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("arm-a9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Config.Dev != tech.LOP {
+		t.Error("A9 preset must use LOP devices")
+	}
+	if _, err := ByName("nonexistent"); err == nil {
+		t.Error("unknown preset must fail")
+	}
+}
+
+func TestPresetPowerClasses(t *testing.T) {
+	// The three processor classes must land in their market power bands.
+	tdp := func(p Preset) float64 {
+		proc, err := chip.New(p.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return proc.TDP()
+	}
+	a9 := tdp(ARMA9())
+	atom := tdp(AtomClass())
+	penryn := tdp(PenrynClass())
+	t.Logf("A9 %.2f W, Atom-class %.2f W, Penryn-class %.2f W", a9, atom, penryn)
+	if a9 > 3 {
+		t.Errorf("embedded A9-class chip = %.2f W, want < 3 W", a9)
+	}
+	if atom < 1 || atom > 15 {
+		t.Errorf("Atom-class chip = %.2f W, want single-digit watts", atom)
+	}
+	if penryn < 15 || penryn > 70 {
+		t.Errorf("Penryn-class chip = %.2f W, want laptop-class 15-70 W", penryn)
+	}
+	if !(a9 < atom && atom < penryn) {
+		t.Error("power ordering A9 < Atom < Penryn violated")
+	}
+}
+
+func TestPresetsAreDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range All() {
+		if seen[p.Name] {
+			t.Errorf("duplicate preset name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}

@@ -1,0 +1,190 @@
+package study
+
+import (
+	"testing"
+
+	"mcpat/internal/perfsim"
+	"mcpat/internal/tech"
+)
+
+func sweep(t *testing.T) []ClusterResult {
+	t.Helper()
+	rs, err := RunClusterSweep(DefaultParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != len(ClusterSizes) {
+		t.Fatalf("got %d results, want %d", len(rs), len(ClusterSizes))
+	}
+	return rs
+}
+
+// TestClusterSweepShape checks the case study's headline conclusions:
+// clustering cuts interconnect and shared-cache power sharply while
+// performance degrades only mildly, so a moderately clustered design wins
+// the combined efficiency metrics.
+func TestClusterSweepShape(t *testing.T) {
+	rs := sweep(t)
+	first, last := rs[0], rs[len(rs)-1]
+
+	// TDP decreases monotonically with clustering.
+	for i := 1; i < len(rs); i++ {
+		if rs[i].TDP >= rs[i-1].TDP {
+			t.Errorf("TDP must fall with clustering: cl=%d %.1f >= cl=%d %.1f",
+				rs[i].ClusterSize, rs[i].TDP, rs[i-1].ClusterSize, rs[i-1].TDP)
+		}
+	}
+	// NoC power falls sharply (more than 2x from cl=1 to cl=8).
+	if last.PowerBreakdown["NoC"] >= first.PowerBreakdown["NoC"]/2 {
+		t.Errorf("NoC power should fall >2x: %.2f -> %.2f",
+			first.PowerBreakdown["NoC"], last.PowerBreakdown["NoC"])
+	}
+	// Core power stays ~constant (same cores everywhere).
+	if rel := last.PowerBreakdown["Cores"] / first.PowerBreakdown["Cores"]; rel < 0.95 || rel > 1.05 {
+		t.Errorf("core power should be flat across clustering, ratio = %.3f", rel)
+	}
+	// Performance: flat-ish until the cluster bus saturates; cl=8 loses
+	// no more than 25%.
+	if drop := 1 - last.Perf/first.Perf; drop < 0 || drop > 0.25 {
+		t.Errorf("cl=8 performance drop = %.1f%%, want 0-25%%", drop*100)
+	}
+	// The efficiency-optimal point is a clustered configuration - not the
+	// flat (cl=1) design.
+	best := rs[0]
+	for _, r := range rs[1:] {
+		if r.ED2AP < best.ED2AP {
+			best = r
+		}
+	}
+	if best.ClusterSize == 1 {
+		t.Error("a clustered design must win ED2AP over the flat mesh")
+	}
+	t.Logf("best ED2AP at cluster=%d (perf %.3g vs flat %.3g)", best.ClusterSize, best.Perf, first.Perf)
+}
+
+func TestClusterSweepMetricsConsistent(t *testing.T) {
+	for _, r := range sweep(t) {
+		if r.EDP <= 0 || r.ED2P <= 0 || r.EDAP <= 0 || r.ED2AP <= 0 {
+			t.Fatalf("cl=%d: non-positive metrics %+v", r.ClusterSize, r)
+		}
+		d := 1 / r.Perf
+		if rel := r.ED2P / (r.EDP * d); rel < 0.999 || rel > 1.001 {
+			t.Errorf("cl=%d: ED2P != EDP*D (rel %.4f)", r.ClusterSize, rel)
+		}
+		if rel := r.EDAP / (r.EDP * r.Area); rel < 0.999 || rel > 1.001 {
+			t.Errorf("cl=%d: EDAP != EDP*A (rel %.4f)", r.ClusterSize, rel)
+		}
+		if len(r.Runs) != 3 {
+			t.Errorf("cl=%d: expected 3 workload runs, got %d", r.ClusterSize, len(r.Runs))
+		}
+		for _, run := range r.Runs {
+			if run.Power <= 0 || run.Power > r.TDP*1.05 {
+				t.Errorf("cl=%d/%s: runtime power %.1f W outside (0, TDP=%.1f]",
+					r.ClusterSize, run.Workload, run.Power, r.TDP)
+			}
+		}
+		// Runtime breakdown must be populated and below peak.
+		for _, name := range breakdownComponents {
+			if r.RuntimeBreakdown[name] <= 0 {
+				t.Errorf("cl=%d: missing runtime breakdown for %s", r.ClusterSize, name)
+			}
+			if r.RuntimeBreakdown[name] > r.PowerBreakdown[name]*1.05 {
+				t.Errorf("cl=%d: runtime %s power %.1f exceeds peak %.1f",
+					r.ClusterSize, name, r.RuntimeBreakdown[name], r.PowerBreakdown[name])
+			}
+		}
+	}
+}
+
+func TestManycoreChipValidation(t *testing.T) {
+	p := DefaultParams()
+	if _, err := ManycoreChip(p, 3); err == nil {
+		t.Error("non-divisor cluster size must fail")
+	}
+	cfg, err := ManycoreChip(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NoC.MeshX*cfg.NoC.MeshY != p.Cores/4 {
+		t.Errorf("mesh %dx%d != %d clusters", cfg.NoC.MeshX, cfg.NoC.MeshY, p.Cores/4)
+	}
+	if cfg.L2.Banks != p.Cores/4 {
+		t.Errorf("L2 banks %d != clusters", cfg.L2.Banks)
+	}
+}
+
+// TestDeviceStudyShape verifies the technology-exploration figure: HP is
+// fastest but leakiest, LSTP is slowest with near-zero leakage, LOP and
+// long-channel HP sit between, and HP leakage grows with scaling.
+func TestDeviceStudyShape(t *testing.T) {
+	rows, err := DeviceStudy([]float64{90, 45, 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]DeviceRow{}
+	for _, r := range rows {
+		key := r.Device.String()
+		if r.LongCh {
+			key += "+LC"
+		}
+		byKey[key+r.deviceNodeKey()] = r
+	}
+	get := func(nm float64, dev string) DeviceRow {
+		r, ok := byKey[dev+nodeKey(nm)]
+		if !ok {
+			t.Fatalf("missing row %s@%gnm", dev, nm)
+		}
+		return r
+	}
+	for _, nm := range []float64{90, 45, 22} {
+		hp := get(nm, "HP")
+		lstp := get(nm, "LSTP")
+		lop := get(nm, "LOP")
+		lc := get(nm, "HP+LC")
+		if !(hp.FMaxGHz > lop.FMaxGHz && lop.FMaxGHz > lstp.FMaxGHz) {
+			t.Errorf("%gnm: fmax ordering violated: HP %.2f, LOP %.2f, LSTP %.2f",
+				nm, hp.FMaxGHz, lop.FMaxGHz, lstp.FMaxGHz)
+		}
+		if !(hp.Leakage > lop.Leakage && lop.Leakage > lstp.Leakage) {
+			t.Errorf("%gnm: leakage ordering violated", nm)
+		}
+		// Long-channel devices apply to logic and periphery but not the
+		// SRAM cells themselves, so the chip-level saving is a solid
+		// fraction rather than the per-device 10x.
+		if lc.Leakage >= hp.Leakage*0.75 {
+			t.Errorf("%gnm: long-channel should cut HP leakage substantially (%.2f vs %.2f)",
+				nm, lc.Leakage, hp.Leakage)
+		}
+	}
+	// HP leakage fraction grows with scaling.
+	f90 := get(90, "HP")
+	f22 := get(22, "HP")
+	if f22.Leakage/f22.TDP <= f90.Leakage/f90.TDP {
+		t.Error("HP leakage fraction must grow from 90nm to 22nm")
+	}
+}
+
+func (r DeviceRow) deviceNodeKey() string { return nodeKey(r.NM) }
+
+func nodeKey(nm float64) string { return "@" + tech.MustByFeature(nm).Name }
+
+// TestTechSweep checks the cross-node sweep runs and prefers clustered
+// designs at every node.
+func TestTechSweep(t *testing.T) {
+	short := []perfsim.Workload{perfsim.SPLASH2Like()[0]}
+	rows, err := RunTechSweep([]float64{45, 22}, short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, row := range rows {
+		if row.BestCluster < 2 {
+			t.Errorf("%gnm: best cluster %d, expected a clustered design", row.NM, row.BestCluster)
+		}
+		if len(row.Results) != len(ClusterSizes) {
+			t.Errorf("%gnm: incomplete sweep", row.NM)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+// Package tables renders every table and figure of the paper's evaluation
+// (see DESIGN.md section 3) as text. cmd/mcpat-tables is a thin wrapper
+// around this package; keeping the rendering here makes every artifact
+// golden-testable, so any drift in the models shows up as a test failure.
+package tables
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"mcpat/internal/study"
+	"mcpat/internal/validation"
+)
+
+// TableNames lists the table artifacts in paper order.
+var TableNames = []string{"specs", "niagara", "niagara2", "alpha21364", "xeon", "area"}
+
+// FigureNames lists the figure artifacts in paper order.
+var FigureNames = []string{"devices", "perf", "power", "area", "metrics", "scaling"}
+
+// Table renders the named table artifact.
+func Table(w io.Writer, name string) error {
+	switch name {
+	case "specs":
+		return Specs(w)
+	case "niagara", "niagara2", "alpha21364", "xeon":
+		return Validation(w, name)
+	case "area":
+		return AreaValidation(w)
+	}
+	return fmt.Errorf("tables: unknown table %q", name)
+}
+
+// Figure renders the named figure artifact.
+func Figure(w io.Writer, name string) error {
+	switch name {
+	case "devices":
+		return Devices(w)
+	case "perf", "power", "area", "metrics":
+		return Cluster(w, name)
+	case "scaling":
+		return Scaling(w)
+	}
+	return fmt.Errorf("tables: unknown figure %q", name)
+}
+
+func header(w io.Writer, s string) {
+	fmt.Fprintf(w, "\n================ %s ================\n", s)
+}
+
+// Specs renders T1.
+func Specs(w io.Writer) error {
+	header(w, "T1: Target processors modeled for validation")
+	fmt.Fprintf(w, "%-28s %6s %8s %6s %10s %10s\n", "Processor", "Node", "Clock", "Vdd", "TDP (pub)", "Area (pub)")
+	for _, t := range validation.All() {
+		fmt.Fprintf(w, "%-28s %4gnm %5.2fGHz %5.2fV %8.1f W %7.1f mm2\n",
+			t.Ref.Name, t.Ref.TechNM, t.Ref.ClockHz/1e9, t.Ref.Vdd, t.Ref.TDP, t.Ref.AreaMM2)
+	}
+	return nil
+}
+
+// Validation renders one of T2-T5.
+func Validation(w io.Writer, key string) error {
+	match := key
+	switch key {
+	case "alpha21364":
+		match = "alpha"
+	case "xeon":
+		match = "tulsa"
+	}
+	for _, t := range validation.All() {
+		lower := strings.ToLower(t.Ref.Name)
+		if key == "niagara" && strings.Contains(lower, "niagara2") {
+			continue
+		}
+		if !strings.Contains(lower, match) {
+			continue
+		}
+		r, err := validation.Compare(t)
+		if err != nil {
+			return err
+		}
+		header(w, fmt.Sprintf("Validation: %s", t.Ref.Name))
+		fmt.Fprintf(w, "%-28s %12s %12s %8s\n", "Component", "Published W", "Modeled W", "Error")
+		for _, row := range r.Rows {
+			errStr := "   -"
+			if !math.IsNaN(row.ErrPct) {
+				errStr = fmt.Sprintf("%+6.1f%%", row.ErrPct)
+			}
+			fmt.Fprintf(w, "%-28s %12.1f %12.1f %8s\n", row.Component, row.Published, row.Modeled, errStr)
+		}
+		fmt.Fprintf(w, "%-28s %12.1f %12.1f %+6.1f%%\n", "TOTAL (TDP)", r.TDPPub, r.TDPMod, r.TDPErr)
+		return nil
+	}
+	return fmt.Errorf("tables: no validation target matches %q", key)
+}
+
+// AreaValidation renders T6.
+func AreaValidation(w io.Writer) error {
+	header(w, "T6: Die-area validation")
+	fmt.Fprintf(w, "%-28s %14s %14s %8s\n", "Processor", "Published mm2", "Modeled mm2", "Error")
+	for _, t := range validation.All() {
+		r, err := validation.Compare(t)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-28s %14.1f %14.1f %+6.1f%%\n", t.Ref.Name, r.AreaPub, r.AreaMod, r.AreaErr)
+	}
+	return nil
+}
+
+// Devices renders F1.
+func Devices(w io.Writer) error {
+	header(w, "F1: Device-type study (8-core Niagara-class chip, architecture fixed)")
+	rows, err := study.DeviceStudy(nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%6s %-8s %8s %10s %10s %10s %10s\n",
+		"Node", "Device", "Fmax", "TDP W", "Dynamic W", "Leakage W", "Area mm2")
+	for _, r := range rows {
+		dev := r.Device.String()
+		if r.LongCh {
+			dev += "+LC"
+		}
+		fmt.Fprintf(w, "%4gnm %-8s %5.2fGHz %10.1f %10.1f %10.2f %10.1f\n",
+			r.NM, dev, r.FMaxGHz, r.TDP, r.Dynamic, r.Leakage, r.Area)
+	}
+	return nil
+}
+
+// clusterResults caches the expensive sweep for the four figure variants.
+var clusterCache []study.ClusterResult
+
+func clusterResults() ([]study.ClusterResult, error) {
+	if clusterCache != nil {
+		return clusterCache, nil
+	}
+	rs, err := study.RunClusterSweep(study.DefaultParams(), nil)
+	if err != nil {
+		return nil, err
+	}
+	clusterCache = rs
+	return rs, nil
+}
+
+// Cluster renders F2-F5.
+func Cluster(w io.Writer, which string) error {
+	rs, err := clusterResults()
+	if err != nil {
+		return err
+	}
+	switch which {
+	case "perf":
+		header(w, "F2: Performance vs clustering (64 cores @ 22nm, SPLASH-2-like)")
+		fmt.Fprintf(w, "%8s %8s", "Cluster", "Mesh")
+		for _, run := range rs[0].Runs {
+			fmt.Fprintf(w, " %12s", run.Workload)
+		}
+		fmt.Fprintf(w, " %12s %10s\n", "mean (GIPS)", "rel.")
+		for _, r := range rs {
+			fmt.Fprintf(w, "%8d %5dx%-2d", r.ClusterSize, r.MeshX, r.MeshY)
+			for _, run := range r.Runs {
+				fmt.Fprintf(w, " %12.1f", run.Throughput/1e9)
+			}
+			fmt.Fprintf(w, " %12.1f %9.3fx\n", r.Perf/1e9, r.Perf/rs[0].Perf)
+		}
+	case "power":
+		header(w, "F3: Runtime power breakdown vs clustering (W, workload average)")
+		comps := []string{"Cores", "L2", "NoC", "MemoryController", "ClockNetwork"}
+		fmt.Fprintf(w, "%8s", "Cluster")
+		for _, c := range comps {
+			fmt.Fprintf(w, " %12s", c)
+		}
+		fmt.Fprintf(w, " %12s\n", "Total")
+		for _, r := range rs {
+			fmt.Fprintf(w, "%8d", r.ClusterSize)
+			for _, c := range comps {
+				fmt.Fprintf(w, " %12.1f", r.RuntimeBreakdown[c])
+			}
+			fmt.Fprintf(w, " %12.1f\n", r.AvgPower)
+		}
+	case "area":
+		header(w, "F4: Area breakdown vs clustering (mm^2)")
+		comps := []string{"Cores", "L2", "NoC", "MemoryController"}
+		fmt.Fprintf(w, "%8s", "Cluster")
+		for _, c := range comps {
+			fmt.Fprintf(w, " %12s", c)
+		}
+		fmt.Fprintf(w, " %12s\n", "Total")
+		for _, r := range rs {
+			fmt.Fprintf(w, "%8d", r.ClusterSize)
+			for _, c := range comps {
+				fmt.Fprintf(w, " %12.2f", r.AreaBreakdown[c])
+			}
+			fmt.Fprintf(w, " %12.1f\n", r.Area)
+		}
+	case "metrics":
+		header(w, "F5: Combined metrics vs clustering (normalized to cluster=1; lower is better)")
+		fmt.Fprintf(w, "%8s %10s %10s %10s %10s\n", "Cluster", "EDP", "ED2P", "EDAP", "ED2AP")
+		base := rs[0]
+		for _, r := range rs {
+			fmt.Fprintf(w, "%8d %10.3f %10.3f %10.3f %10.3f\n", r.ClusterSize,
+				r.EDP/base.EDP, r.ED2P/base.ED2P, r.EDAP/base.EDAP, r.ED2AP/base.ED2AP)
+		}
+		best := rs[0]
+		for _, r := range rs[1:] {
+			if r.ED2AP < best.ED2AP {
+				best = r
+			}
+		}
+		fmt.Fprintf(w, "-> best ED2AP design: %d cores per cluster\n", best.ClusterSize)
+	default:
+		return fmt.Errorf("tables: unknown cluster figure %q", which)
+	}
+	return nil
+}
+
+// Scaling renders F6.
+func Scaling(w io.Writer) error {
+	header(w, "F6: Best clustering across technology nodes (ED2AP-optimal)")
+	rows, err := study.RunTechSweep(nil, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%6s %14s %14s %16s\n", "Node", "Best cluster", "TDP @best W", "NoC power cl1->cl8")
+	for _, row := range rows {
+		var best study.ClusterResult
+		for _, r := range row.Results {
+			if r.ClusterSize == row.BestCluster {
+				best = r
+			}
+		}
+		first := row.Results[0]
+		last := row.Results[len(row.Results)-1]
+		fmt.Fprintf(w, "%4gnm %14d %14.1f %8.1f -> %5.1f\n",
+			row.NM, row.BestCluster, best.TDP,
+			first.PowerBreakdown["NoC"], last.PowerBreakdown["NoC"])
+	}
+	return nil
+}
+
+// All renders every table and figure in order.
+func All(w io.Writer) error {
+	for _, t := range TableNames {
+		if err := Table(w, t); err != nil {
+			return err
+		}
+	}
+	for _, f := range FigureNames {
+		if err := Figure(w, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package tables
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// golden renders through fn and compares against testdata/<name>.golden.
+// Run `go test ./internal/tables -update` after intentional model changes.
+func golden(t *testing.T, name string, fn func(w *strings.Builder) error) {
+	t.Helper()
+	var buf strings.Builder
+	if err := fn(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from its golden output.\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, string(want))
+	}
+}
+
+func TestGoldenTables(t *testing.T) {
+	for _, name := range TableNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			golden(t, "table_"+name, func(w *strings.Builder) error { return Table(w, name) })
+		})
+	}
+}
+
+func TestGoldenFigures(t *testing.T) {
+	for _, name := range FigureNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			golden(t, "fig_"+name, func(w *strings.Builder) error { return Figure(w, name) })
+		})
+	}
+}
+
+func TestUnknownNames(t *testing.T) {
+	var b strings.Builder
+	if err := Table(&b, "bogus"); err == nil {
+		t.Error("unknown table must fail")
+	}
+	if err := Figure(&b, "bogus"); err == nil {
+		t.Error("unknown figure must fail")
+	}
+}
+
+func TestAllRendersEverything(t *testing.T) {
+	var b strings.Builder
+	if err := All(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, marker := range []string{"T1:", "T6:", "F1:", "F2:", "F3:", "F4:", "F5:", "F6:"} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("All() output missing %s", marker)
+		}
+	}
+}

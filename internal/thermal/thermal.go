@@ -1,0 +1,93 @@
+// Package thermal closes the power-temperature feedback loop around the
+// chip model. Subthreshold leakage grows exponentially with junction
+// temperature, and junction temperature grows with dissipated power
+// through the package's thermal resistance - so the true operating point
+// is a fixed point of the two models. McPAT takes temperature as an input;
+// this package iterates that input until it is self-consistent, the way
+// users pair McPAT with a thermal model.
+//
+// The package model is the standard lumped resistance:
+//
+//	Tj = Tambient + P * Rtheta(junction->ambient)
+//
+// which is accurate for steady-state TDP analysis (transient thermal needs
+// a grid model and is out of scope).
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"mcpat/internal/chip"
+)
+
+// PackageSpec describes the cooling solution.
+type PackageSpec struct {
+	// AmbientK is the ambient (or case) temperature in kelvin.
+	AmbientK float64
+	// RthetaJA is the junction-to-ambient thermal resistance in K/W.
+	// Typical values: ~0.25 K/W for a server heatsink with forced air,
+	// ~1.5 K/W for a fanless embedded part.
+	RthetaJA float64
+	// MaxTjK optionally flags operating points beyond a junction limit
+	// (0 disables the check; 378 K = 105 C is a common limit).
+	MaxTjK float64
+}
+
+// Result is a converged operating point.
+type Result struct {
+	TjK        float64 // converged junction temperature
+	TDP        float64 // W at the converged temperature
+	Leakage    float64 // W at the converged temperature
+	Iterations int
+	Converged  bool
+	OverLimit  bool // TjK exceeds PackageSpec.MaxTjK
+}
+
+// Solve iterates chip synthesis and the package model to the
+// self-consistent junction temperature. The chip configuration's
+// Temperature field is overridden each iteration.
+func Solve(cfg chip.Config, pkg PackageSpec) (*Result, error) {
+	if pkg.AmbientK <= 0 {
+		pkg.AmbientK = 318 // 45 C ambient inside a chassis
+	}
+	if pkg.RthetaJA <= 0 {
+		return nil, fmt.Errorf("thermal: RthetaJA must be positive")
+	}
+
+	tj := pkg.AmbientK + 20 // initial guess
+	res := &Result{}
+	for iter := 0; iter < 50; iter++ {
+		res.Iterations = iter + 1
+		cfg.Temperature = tj
+		p, err := chip.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep := p.Report(nil)
+		power := rep.Peak()
+		next := pkg.AmbientK + power*pkg.RthetaJA
+
+		res.TDP = power
+		res.Leakage = rep.Leakage()
+		if math.Abs(next-tj) < 0.1 {
+			res.TjK = next
+			res.Converged = true
+			break
+		}
+		// Damped update: leakage(T) is convex, undamped iteration can
+		// oscillate near thermal runaway.
+		tj = 0.5*tj + 0.5*next
+		res.TjK = tj
+		// Runaway guard: beyond ~450 K the fixed point does not exist
+		// for HP silicon; report divergence instead of looping.
+		if tj > 450 {
+			res.Converged = false
+			break
+		}
+	}
+	if pkg.MaxTjK > 0 && res.TjK > pkg.MaxTjK {
+		res.OverLimit = true
+	}
+	return res, nil
+}

@@ -1,0 +1,80 @@
+package thermal
+
+import (
+	"testing"
+
+	"mcpat/internal/validation"
+)
+
+func TestSolveConverges(t *testing.T) {
+	cfg := validation.Niagara().Chip
+	res, err := Solve(cfg, PackageSpec{AmbientK: 318, RthetaJA: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	t.Logf("Tj = %.1f K (%.1f C), TDP = %.1f W, leakage = %.1f W in %d iterations",
+		res.TjK, res.TjK-273, res.TDP, res.Leakage, res.Iterations)
+	// Tj must sit above ambient by P*Rtheta.
+	want := 318 + res.TDP*0.3
+	if diff := res.TjK - want; diff < -0.5 || diff > 0.5 {
+		t.Errorf("Tj = %.2f K inconsistent with P*Rtheta (%.2f K)", res.TjK, want)
+	}
+	if res.TjK < 325 || res.TjK > 360 {
+		t.Errorf("Tj = %.1f K implausible for a server heatsink", res.TjK)
+	}
+}
+
+func TestBetterCoolingLowersLeakage(t *testing.T) {
+	cfg := validation.Niagara().Chip
+	good, err := Solve(cfg, PackageSpec{AmbientK: 300, RthetaJA: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := Solve(cfg, PackageSpec{AmbientK: 318, RthetaJA: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !good.Converged || !bad.Converged {
+		t.Fatal("both packages should converge")
+	}
+	if good.TjK >= bad.TjK {
+		t.Errorf("better cooling must lower Tj: %.1f vs %.1f", good.TjK, bad.TjK)
+	}
+	if good.Leakage >= bad.Leakage {
+		t.Errorf("cooler chip must leak less: %.2f vs %.2f W", good.Leakage, bad.Leakage)
+	}
+	if good.TDP >= bad.TDP {
+		t.Error("the leakage saving must show up in TDP")
+	}
+}
+
+func TestJunctionLimitFlag(t *testing.T) {
+	cfg := validation.XeonTulsa().Chip // 150 W class
+	res, err := Solve(cfg, PackageSpec{AmbientK: 318, RthetaJA: 0.5, MaxTjK: 360})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 150 W x 0.5 K/W = +75 K above 318: well over the 360 K limit.
+	if !res.OverLimit {
+		t.Errorf("Tj = %.1f K should exceed the 360 K limit", res.TjK)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Solve(validation.Niagara().Chip, PackageSpec{}); err == nil {
+		t.Error("zero Rtheta must fail")
+	}
+}
+
+func TestAmbientDefault(t *testing.T) {
+	res, err := Solve(validation.Niagara().Chip, PackageSpec{RthetaJA: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TjK <= 318 {
+		t.Error("default ambient of 318 K must apply")
+	}
+}

@@ -1,0 +1,206 @@
+package tracesim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func hier(cores int) Hierarchy {
+	return Hierarchy{
+		Cores: cores, ThreadsPerCore: 1,
+		L1Bytes: 32 << 10, L1Assoc: 4, BlockBytes: 64,
+		L2Bytes: 2 << 20, L2Assoc: 8, L2Banks: 4,
+	}
+}
+
+func trace(threads int) TraceConfig {
+	return TraceConfig{
+		Name: "t", Seed: 42, Threads: threads,
+		AccessesPerThread: 50_000,
+		LoadFrac:          0.25, StoreFrac: 0.12,
+		HotSetBytes: 16 << 10, WarmSetBytes: 512 << 10, SharedBytes: 256 << 10,
+		SharedFrac: 0.15, WarmFrac: 0.20, StreamFrac: 0.05,
+	}
+}
+
+func TestSimulateBasics(t *testing.T) {
+	r, err := Simulate(hier(4), trace(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("L1 miss %.3f  L2 miss %.3f  share %.3f  inval %d  c2c %d  wb %d",
+		r.L1MissRate, r.L2MissRate, r.ShareRate, r.Invalidations, r.C2CTransfers, r.WriteBacks)
+	if r.Accesses != 4*50_000 {
+		t.Fatalf("accesses = %d", r.Accesses)
+	}
+	if r.L1Hits+r.L1Misses != r.Accesses {
+		t.Error("L1 hits+misses must equal accesses")
+	}
+	if r.L2Hits+r.L2Misses != r.L1Misses {
+		t.Error("L2 traffic must equal L1 misses")
+	}
+	// Hot set (16KB) fits in L1 (32KB) and warm/shared phases mostly
+	// reuse their window; the remaining misses are streaming plus
+	// write-sharing ping-pong on the shared window (4 threads invalidate
+	// each other), so the rate is modest but well above the cold floor.
+	if r.L1MissRate < 0.01 || r.L1MissRate > 0.30 {
+		t.Errorf("L1 miss rate %.3f implausible for a phased workload", r.L1MissRate)
+	}
+	if r.L2MissRate <= 0 || r.L2MissRate >= 1 {
+		t.Errorf("L2 miss rate %.3f out of range", r.L2MissRate)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := Simulate(hier(4), trace(4))
+	b, _ := Simulate(hier(4), trace(4))
+	if *a != *b {
+		t.Error("same seed must reproduce identical results")
+	}
+	c2 := trace(4)
+	c2.Seed = 43
+	c, _ := Simulate(hier(4), c2)
+	if a.L1Misses == c.L1Misses && a.Invalidations == c.Invalidations {
+		t.Error("different seed should perturb the counts")
+	}
+}
+
+func TestBiggerL1CutsMisses(t *testing.T) {
+	small := hier(4)
+	small.L1Bytes = 8 << 10
+	big := hier(4)
+	big.L1Bytes = 64 << 10
+	rs, _ := Simulate(small, trace(4))
+	rb, _ := Simulate(big, trace(4))
+	if rb.L1MissRate >= rs.L1MissRate {
+		t.Errorf("bigger L1 must reduce miss rate: %.4f vs %.4f", rb.L1MissRate, rs.L1MissRate)
+	}
+}
+
+func TestBiggerL2CutsMemoryTraffic(t *testing.T) {
+	small := hier(4)
+	small.L2Bytes = 256 << 10
+	big := hier(4)
+	big.L2Bytes = 8 << 20
+	rs, _ := Simulate(small, trace(4))
+	rb, _ := Simulate(big, trace(4))
+	if rb.L2Misses >= rs.L2Misses {
+		t.Errorf("bigger L2 must reduce memory traffic: %d vs %d", rb.L2Misses, rs.L2Misses)
+	}
+}
+
+func TestSharingDrivesCoherence(t *testing.T) {
+	none := trace(8)
+	none.SharedFrac = 0
+	lots := trace(8)
+	lots.SharedFrac = 0.4
+	rn, _ := Simulate(hier(8), none)
+	rl, _ := Simulate(hier(8), lots)
+	if rn.Invalidations+rn.C2CTransfers >= rl.Invalidations+rl.C2CTransfers {
+		t.Errorf("shared accesses must drive coherence: %d vs %d",
+			rn.Invalidations+rn.C2CTransfers, rl.Invalidations+rl.C2CTransfers)
+	}
+	if rl.Invalidations == 0 {
+		t.Error("write sharing must produce invalidations")
+	}
+	if rl.C2CTransfers == 0 {
+		t.Error("read-after-remote-write must produce cache-to-cache transfers")
+	}
+}
+
+func TestSingleCoreHasNoCoherenceTraffic(t *testing.T) {
+	tc := trace(1)
+	tc.SharedFrac = 0.3 // shared region exists but only one core touches it
+	r, err := Simulate(hier(1), tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Invalidations != 0 || r.C2CTransfers != 0 {
+		t.Errorf("single core cannot have coherence traffic: inval=%d c2c=%d",
+			r.Invalidations, r.C2CTransfers)
+	}
+}
+
+func TestStreamingMissesInBothLevels(t *testing.T) {
+	tc := trace(2)
+	tc.SharedFrac, tc.WarmFrac = 0, 0
+	tc.StreamFrac = 0.5
+	tc.HotSetBytes = 4 << 10
+	r, _ := Simulate(hier(2), tc)
+	// Streaming accesses never reuse blocks (one miss per block touched),
+	// so L2 miss rate must be high.
+	if r.L2MissRate < 0.3 {
+		t.Errorf("streaming-heavy trace should thrash L2, miss rate %.3f", r.L2MissRate)
+	}
+}
+
+func TestToWorkloadBridging(t *testing.T) {
+	r, err := Simulate(hier(4), trace(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := r.ToWorkload(1e9)
+	if w.L1DMissRate != r.L1MissRate || w.L2MissRate != r.L2MissRate {
+		t.Error("workload must carry the measured miss rates")
+	}
+	if w.Instructions != 1e9 || w.BaseCPI <= 0 {
+		t.Error("workload descriptor incomplete")
+	}
+	if w.SharingFrac > 1 {
+		t.Error("sharing fraction must be clamped to 1")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := Simulate(Hierarchy{}, trace(2)); err == nil {
+		t.Error("zero cores must fail")
+	}
+	if _, err := Simulate(hier(128), trace(2)); err == nil {
+		t.Error(">64 cores must fail (directory vector)")
+	}
+	bad := trace(2)
+	bad.SharedFrac, bad.WarmFrac, bad.StreamFrac = 0.6, 0.5, 0.2
+	if _, err := Simulate(hier(2), bad); err == nil {
+		t.Error("fraction sum > 1 must fail")
+	}
+	if _, err := Simulate(hier(2), TraceConfig{Name: "nothreads"}); err == nil {
+		t.Error("zero threads must fail")
+	}
+	tiny := hier(2)
+	tiny.L1Bytes = 64
+	tiny.L1Assoc = 4
+	if _, err := Simulate(tiny, trace(2)); err == nil {
+		t.Error("cache smaller than one set must fail")
+	}
+	huge := trace(2)
+	huge.WarmSetBytes = 8 << 20
+	if _, err := Simulate(hier(2), huge); err == nil {
+		t.Error("per-thread set larger than the thread stride must fail")
+	}
+}
+
+func TestQuickConservation(t *testing.T) {
+	// Property: for any small configuration, the hit/miss accounting
+	// identities hold and rates stay in [0,1].
+	f := func(seed int64, sf, wf uint8) bool {
+		tc := trace(4)
+		tc.Seed = seed
+		tc.AccessesPerThread = 5_000
+		tc.SharedFrac = float64(sf%40) / 100
+		tc.WarmFrac = float64(wf%40) / 100
+		r, err := Simulate(hier(4), tc)
+		if err != nil {
+			return false
+		}
+		if r.L1Hits+r.L1Misses != r.Accesses || r.L2Hits+r.L2Misses != r.L1Misses {
+			return false
+		}
+		return r.L1MissRate >= 0 && r.L1MissRate <= 1 &&
+			r.L2MissRate >= 0 && r.L2MissRate <= 1 &&
+			!math.IsNaN(r.ShareRate)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,388 @@
+// Package mcpat is an integrated power, area, and timing (PAT) modeling
+// framework for multicore and manycore processor architectures, a Go
+// implementation of the McPAT framework (Li et al., MICRO 2009).
+//
+// McPAT models the complete chip: in-order and out-of-order cores
+// (instruction fetch with branch prediction, renaming, scheduling,
+// execution, load/store, and memory management units), shared caches with
+// coherence directories, networks-on-chip (buses, crossbars, and 2D
+// meshes, optionally clustered), memory controllers, I/O controllers, and
+// the clock distribution network. Architectural components are mapped
+// onto circuit-level structures (memory arrays, complex logic, wires,
+// clock trees) and then onto ITRS-style device and interconnect
+// technology parameters from 180 nm down to 22 nm, covering the HP, LSTP,
+// and LOP transistor classes plus long-channel variants. An internal
+// optimizer searches circuit configurations to satisfy the clock target.
+//
+// The framework separates peak (TDP) power from runtime power: runtime
+// analysis consumes per-component activity statistics supplied by any
+// external performance simulator through an XML interface (package-level
+// LoadXML / WriteXML), exactly the decoupling the original tool defines.
+//
+// # Quick start
+//
+//	cfg := mcpat.Config{
+//	    Name: "mychip", NM: 45, ClockHz: 2e9, NumCores: 4,
+//	    Core: mcpat.CoreConfig{Threads: 2, IntALUs: 2, FPUs: 1},
+//	    L2:   &mcpat.CacheConfig{Name: "L2", Bytes: 4 << 20, Banks: 4},
+//	    NoC:  mcpat.NoCSpec{Kind: mcpat.Crossbar, FlitBits: 128},
+//	}
+//	p, err := mcpat.New(cfg)
+//	if err != nil { ... }
+//	report := p.Report(nil) // TDP-only report
+//	fmt.Println(report.Format(2))
+//
+// The subpackages under internal/ implement the layered model; this
+// package re-exports the stable public surface.
+package mcpat
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"mcpat/internal/cache"
+	"mcpat/internal/chip"
+	"mcpat/internal/config"
+	"mcpat/internal/core"
+	"mcpat/internal/dram"
+	"mcpat/internal/explore"
+	"mcpat/internal/floorplan"
+	"mcpat/internal/m5compat"
+	"mcpat/internal/mc"
+	"mcpat/internal/perfsim"
+	"mcpat/internal/power"
+	"mcpat/internal/presets"
+	"mcpat/internal/study"
+	"mcpat/internal/tech"
+	"mcpat/internal/thermal"
+	"mcpat/internal/tracesim"
+	"mcpat/internal/validation"
+)
+
+// Core configuration and model types.
+type (
+	// Config describes a full processor chip.
+	Config = chip.Config
+	// Stats carries runtime statistics from a performance simulator.
+	Stats = chip.Stats
+	// Processor is a synthesized chip; call Report for power/area trees.
+	Processor = chip.Processor
+	// NoCSpec configures the on-chip fabric.
+	NoCSpec = chip.NoCSpec
+	// CoreConfig describes one processor core.
+	CoreConfig = core.Config
+	// CoreActivity is the per-cycle activity vector of a core.
+	CoreActivity = core.Activity
+	// CacheParams configures a private L1 cache inside a core.
+	CacheParams = core.CacheParams
+	// CacheConfig describes a shared cache level (L2/L3).
+	CacheConfig = cache.Config
+	// MCConfig describes the memory controller.
+	MCConfig = mc.Config
+	// NIUConfig describes a network interface unit.
+	NIUConfig = mc.NIUConfig
+	// PCIeConfig describes a PCIe controller.
+	PCIeConfig = mc.PCIeConfig
+	// Report is a node of the hierarchical power/area report.
+	Report = power.Item
+	// DeviceType selects the ITRS transistor class.
+	DeviceType = tech.DeviceType
+	// InterconnectKind selects the chip-level fabric.
+	InterconnectKind = chip.InterconnectKind
+)
+
+// Device classes.
+const (
+	// HP is the high-performance (fast, leaky) device class.
+	HP = tech.HP
+	// LSTP is the low-standby-power device class.
+	LSTP = tech.LSTP
+	// LOP is the low-operating-power device class.
+	LOP = tech.LOP
+)
+
+// Interconnect kinds.
+const (
+	// NoInterconnect connects cores to the shared cache directly.
+	NoInterconnect = chip.NoneIC
+	// Bus is a shared multi-drop bus.
+	Bus = chip.Bus
+	// Crossbar is a flat crossbar (Niagara style).
+	Crossbar = chip.Crossbar
+	// Mesh is a 2D-mesh NoC (optionally clustered).
+	Mesh = chip.Mesh
+	// Ring is a ring of 3-port routers.
+	Ring = chip.Ring
+)
+
+// New synthesizes a processor from a chip configuration.
+func New(cfg Config) (*Processor, error) { return chip.New(cfg) }
+
+// LoadXML parses a McPAT-style XML document and returns the chip
+// configuration plus any runtime statistics it carries.
+func LoadXML(r io.Reader) (Config, *Stats, error) {
+	root, err := config.Parse(r)
+	if err != nil {
+		return Config{}, nil, err
+	}
+	cfg, err := config.ToChipConfig(root)
+	if err != nil {
+		return Config{}, nil, err
+	}
+	return cfg, config.ToStats(root), nil
+}
+
+// LoadXMLFile is LoadXML reading from a file path.
+func LoadXMLFile(path string) (Config, *Stats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Config{}, nil, fmt.Errorf("mcpat: %w", err)
+	}
+	defer f.Close()
+	return LoadXML(f)
+}
+
+// WriteXML serializes a chip configuration as a McPAT-style XML document.
+func WriteXML(w io.Writer, cfg Config) error {
+	return config.FromChipConfig(cfg).Write(w)
+}
+
+// WriteXMLWithStats serializes a configuration together with runtime
+// statistics - the combined document a performance simulator hands back
+// to the power models.
+func WriteXMLWithStats(w io.Writer, cfg Config, stats *Stats) error {
+	root := config.FromChipConfig(cfg)
+	config.FromStats(root, stats)
+	return root.Write(w)
+}
+
+// Floorplanning.
+type (
+	// FloorplanBlock is one top-level component to place on the die.
+	FloorplanBlock = floorplan.Block
+	// Floorplan is a completed die layout with distance queries.
+	Floorplan = floorplan.Plan
+)
+
+// PlanFloor places count copies of the tile block in a near-square grid
+// with pad-bound peripherals along the die edge, returning die geometry,
+// block positions, mesh wire length, and route-length statistics.
+func PlanFloor(tile FloorplanBlock, count int, periph []FloorplanBlock, aspect float64) (*Floorplan, error) {
+	return floorplan.Grid(tile, count, periph, aspect)
+}
+
+// Preset couples a name and description with a ready-to-run chip
+// configuration (ARM A9-class, Atom-class, Penryn-class, plus the four
+// validation targets), matching the templates the original distribution
+// ships.
+type Preset = presets.Preset
+
+// Presets returns every bundled chip template.
+func Presets() []Preset { return presets.All() }
+
+// PresetByName looks a bundled template up by its short name (e.g.
+// "arm-a9", "niagara").
+func PresetByName(name string) (Preset, error) { return presets.ByName(name) }
+
+// ValidationTarget couples one of the paper's validation processors with
+// its published reference data.
+type ValidationTarget = validation.Target
+
+// ValidationResult is a completed model-vs-published comparison.
+type ValidationResult = validation.Result
+
+// ValidationTargets returns the four processors the paper validates
+// against: Niagara (90 nm), Niagara2 (65 nm), Alpha 21364 (180 nm), and
+// Xeon Tulsa (65 nm).
+func ValidationTargets() []ValidationTarget { return validation.All() }
+
+// Validate synthesizes a validation target and compares it against its
+// published reference data.
+func Validate(t ValidationTarget) (*ValidationResult, error) { return validation.Compare(t) }
+
+// Performance-simulation substrate (the McPAT-side interface accepts any
+// simulator; this analytical one ships with the framework).
+type (
+	// Workload characterizes a parallel kernel for the bundled
+	// performance model.
+	Workload = perfsim.Workload
+	// Machine is the performance-relevant view of a chip.
+	Machine = perfsim.Machine
+	// SimResult is a completed performance simulation.
+	SimResult = perfsim.Result
+)
+
+// SPLASH2LikeWorkloads returns the three bundled workload descriptors
+// (fft/ocean/lu-shaped).
+func SPLASH2LikeWorkloads() []Workload { return perfsim.SPLASH2Like() }
+
+// Simulate runs the bundled analytical performance model.
+func Simulate(m Machine, w Workload) (*SimResult, error) { return perfsim.Run(m, w) }
+
+// Case-study surface.
+type (
+	// StudyParams are the fixed parameters of the manycore case study.
+	StudyParams = study.Params
+	// ClusterResult is one design point of the clustering sweep.
+	ClusterResult = study.ClusterResult
+	// DeviceRow is one point of the device-type study.
+	DeviceRow = study.DeviceRow
+	// TechRow is one node of the cross-technology sweep.
+	TechRow = study.TechRow
+)
+
+// DefaultStudyParams returns the paper-style 22 nm 64-core setup.
+func DefaultStudyParams() StudyParams { return study.DefaultParams() }
+
+// RunClusterStudy sweeps cluster sizes {1,2,4,8} for the given setup.
+func RunClusterStudy(p StudyParams, ws []Workload) ([]ClusterResult, error) {
+	return study.RunClusterSweep(p, ws)
+}
+
+// RunDeviceStudy synthesizes a fixed chip across nodes and device classes.
+func RunDeviceStudy(nodes []float64) ([]DeviceRow, error) { return study.DeviceStudy(nodes) }
+
+// RunTechStudy repeats the clustering sweep across technology nodes.
+func RunTechStudy(nodes []float64, ws []Workload) ([]TechRow, error) {
+	return study.RunTechSweep(nodes, ws)
+}
+
+// ManycoreConfig builds the chip configuration of one clustering design
+// point of the case study.
+func ManycoreConfig(p StudyParams, clusterSize int) (Config, error) {
+	return study.ManycoreChip(p, clusterSize)
+}
+
+// Trace-driven cache simulation (the fidelity rung between workload
+// parameters and a full-system simulator).
+type (
+	// TraceConfig describes a synthetic parallel program's memory behavior.
+	TraceConfig = tracesim.TraceConfig
+	// CacheHierarchy describes the simulated L1/L2 hierarchy.
+	CacheHierarchy = tracesim.Hierarchy
+	// TraceResult carries measured hit/miss/coherence statistics.
+	TraceResult = tracesim.Result
+)
+
+// SimulateTrace runs a synthetic trace through set-associative caches
+// with MSI coherence and measures miss rates and coherence traffic.
+func SimulateTrace(h CacheHierarchy, tc TraceConfig) (*TraceResult, error) {
+	return tracesim.Simulate(h, tc)
+}
+
+// M5 / gem5 statistics interface.
+type M5Dump = m5compat.Dump
+
+// ParseM5Stats reads the final dump of an M5/gem5 stats.txt stream.
+func ParseM5Stats(r io.Reader) (M5Dump, error) { return m5compat.ParseLast(r) }
+
+// M5ToStats converts a parsed M5/gem5 dump into this framework's runtime
+// statistics vector.
+func M5ToStats(d M5Dump, clockHz float64, numCores int) (*Stats, error) {
+	return m5compat.ToChipStats(d, clockHz, numCores)
+}
+
+// Design-space exploration.
+type (
+	// DSESpace enumerates the design axes to sweep.
+	DSESpace = explore.Space
+	// DSEConstraints bound the feasible region (area/TDP budgets).
+	DSEConstraints = explore.Constraints
+	// DSEParams fixes the non-swept parameters.
+	DSEParams = explore.Params
+	// DSECandidate is one evaluated design point.
+	DSECandidate = explore.Candidate
+	// DSEResult is a completed exploration.
+	DSEResult = explore.Result
+	// DSEObjective ranks feasible candidates.
+	DSEObjective = explore.Objective
+)
+
+// DSE objectives.
+const (
+	// MaxThroughput maximizes aggregate instructions/s.
+	MaxThroughput = explore.MaxThroughput
+	// MaxPerfPerWatt maximizes throughput per runtime watt.
+	MaxPerfPerWatt = explore.MaxPerfPerWatt
+	// MinED2AP minimizes energy x delay^2 x area.
+	MinED2AP = explore.MinED2AP
+)
+
+// ExploreDesignSpace exhaustively evaluates the space under the budget
+// and returns candidates ranked by the objective.
+func ExploreDesignSpace(p DSEParams, space DSESpace, cons DSEConstraints, obj DSEObjective) (*DSEResult, error) {
+	return explore.Search(p, space, cons, obj)
+}
+
+// Thermal co-analysis: solve the power-temperature fixed point.
+type (
+	// PackageSpec describes the cooling solution (ambient, Rtheta).
+	PackageSpec = thermal.PackageSpec
+	// ThermalResult is a converged power/temperature operating point.
+	ThermalResult = thermal.Result
+)
+
+// SolveThermal iterates chip synthesis against the lumped package model
+// until junction temperature and leakage are self-consistent.
+func SolveThermal(cfg Config, pkg PackageSpec) (*ThermalResult, error) {
+	return thermal.Solve(cfg, pkg)
+}
+
+// Off-chip DRAM device power (IDD methodology).
+type (
+	// DRAMDevice is a DRAM datasheet extract.
+	DRAMDevice = dram.DeviceSpec
+	// DRAMChannel describes one populated memory channel.
+	DRAMChannel = dram.ChannelSpec
+	// DRAMTraffic is the served workload of a channel.
+	DRAMTraffic = dram.Traffic
+	// DRAMPower is the channel power breakdown.
+	DRAMPower = dram.Result
+)
+
+// DDR2x800 returns a representative DDR2-800 device spec.
+func DDR2x800() DRAMDevice { return dram.DDR2_800() }
+
+// DDR3x1333 returns a representative DDR3-1333 device spec.
+func DDR3x1333() DRAMDevice { return dram.DDR3_1333() }
+
+// DRAMChannelPower evaluates the IDD power model for one channel.
+func DRAMChannelPower(ch DRAMChannel, tr DRAMTraffic) (*DRAMPower, error) {
+	return dram.ChannelPower(ch, tr)
+}
+
+// Cache is a synthesized shared cache level: the data/tag arrays, MSHRs,
+// write-back buffer, and optional directory, with per-access energies,
+// leakage, area, and access time chosen by the internal optimizer.
+type Cache = cache.Cache
+
+// TimingEntry reports one component's latency against the cycle budget.
+type TimingEntry = chip.TimingEntry
+
+// VFPoint is one operating point of a voltage-frequency scan.
+type VFPoint = chip.VFPoint
+
+// VFScan sweeps supply voltage around the nominal point, retuning the
+// clock with the alpha-power law, and reports the resulting TDP /
+// dynamic / leakage / energy-per-cycle curve - McPAT's DVFS capability.
+// scales are relative Vdd multipliers (nil selects 0.7..1.1).
+func VFScan(cfg Config, scales []float64) ([]VFPoint, error) {
+	return chip.VFScan(cfg, scales)
+}
+
+// NewCache synthesizes a standalone shared cache at the given node,
+// device class, and target clock - direct access to the memory-array
+// optimizer for cache design-space exploration.
+func NewCache(nm, clockHz float64, dev DeviceType, cfg CacheConfig) (*Cache, error) {
+	node, err := tech.ByFeature(nm)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Tech = node
+	cfg.Dev = dev
+	if cfg.TargetHz == 0 {
+		cfg.TargetHz = clockHz
+	}
+	return cache.New(cfg)
+}

@@ -1,0 +1,268 @@
+package mcpat_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mcpat"
+)
+
+func smallConfig() mcpat.Config {
+	return mcpat.Config{
+		Name:     "api-test",
+		NM:       45,
+		ClockHz:  2e9,
+		NumCores: 2,
+		Core: mcpat.CoreConfig{
+			Threads: 2,
+			ICache:  mcpat.CacheParams{Bytes: 16 * 1024},
+			DCache:  mcpat.CacheParams{Bytes: 16 * 1024},
+			IntALUs: 1, FPUs: 1,
+		},
+		L2:  &mcpat.CacheConfig{Name: "L2", Bytes: 1 << 20, Banks: 2},
+		NoC: mcpat.NoCSpec{Kind: mcpat.Bus, FlitBits: 128},
+		MC:  &mcpat.MCConfig{Channels: 1, PeakBandwidth: 12e9, LVDS: true},
+	}
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	p, err := mcpat.New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := p.Report(nil)
+	if rep.Peak() <= 0 || rep.Area <= 0 {
+		t.Fatal("invalid report totals")
+	}
+	if rep.Find("Cores") == nil || rep.Find("L2") == nil {
+		t.Error("report tree missing components")
+	}
+}
+
+func TestXMLRoundTripThroughAPI(t *testing.T) {
+	cfg := smallConfig()
+	var buf bytes.Buffer
+	if err := mcpat.WriteXML(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := mcpat.LoadXML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := mcpat.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := mcpat.New(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := p1.TDP(), p2.TDP(); a != b {
+		t.Errorf("XML round trip changed TDP: %v != %v", a, b)
+	}
+}
+
+func TestLoadXMLErrors(t *testing.T) {
+	if _, _, err := mcpat.LoadXML(strings.NewReader("nonsense")); err == nil {
+		t.Error("garbage XML must fail")
+	}
+	if _, _, err := mcpat.LoadXMLFile("/nonexistent/file.xml"); err == nil {
+		t.Error("missing file must fail")
+	}
+}
+
+func TestValidationThroughAPI(t *testing.T) {
+	targets := mcpat.ValidationTargets()
+	if len(targets) != 4 {
+		t.Fatalf("expected 4 validation targets, got %d", len(targets))
+	}
+	r, err := mcpat.Validate(targets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TDPMod <= 0 || len(r.Rows) == 0 {
+		t.Error("validation result incomplete")
+	}
+}
+
+func TestSimulateThroughAPI(t *testing.T) {
+	sim, err := mcpat.Simulate(mcpat.Machine{
+		Cores: 8, ThreadsPerCore: 4, ClockHz: 2e9,
+		L2Latency: 16, MemLatency: 150, MemBandwidth: 50e9,
+	}, mcpat.SPLASH2LikeWorkloads()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Runtime <= 0 || sim.CoreIPC <= 0 {
+		t.Error("simulation incomplete")
+	}
+}
+
+func TestStudyThroughAPI(t *testing.T) {
+	cfg, err := mcpat.ManycoreConfig(mcpat.DefaultStudyParams(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumCores != 64 || cfg.NoC.ClusterSize != 4 {
+		t.Errorf("unexpected manycore config: %+v", cfg.NoC)
+	}
+	if _, err := mcpat.ManycoreConfig(mcpat.DefaultStudyParams(), 5); err == nil {
+		t.Error("invalid cluster size must fail")
+	}
+}
+
+func TestNewCacheThroughAPI(t *testing.T) {
+	c, err := mcpat.NewCache(45, 2e9, mcpat.HP, mcpat.CacheConfig{
+		Name: "x", Bytes: 512 * 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.AccessTime() <= 0 || c.Area <= 0 {
+		t.Error("invalid cache synthesis")
+	}
+	if _, err := mcpat.NewCache(5, 2e9, mcpat.HP, mcpat.CacheConfig{Bytes: 1024}); err == nil {
+		t.Error("unsupported node must fail")
+	}
+}
+
+func TestThermalThroughAPI(t *testing.T) {
+	res, err := mcpat.SolveThermal(smallConfig(), mcpat.PackageSpec{AmbientK: 318, RthetaJA: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.TjK <= 318 {
+		t.Errorf("thermal solve failed: %+v", res)
+	}
+}
+
+func TestDRAMThroughAPI(t *testing.T) {
+	r, err := mcpat.DRAMChannelPower(
+		mcpat.DRAMChannel{Device: mcpat.DDR3x1333(), DevicesPerRank: 8, Ranks: 1},
+		mcpat.DRAMTraffic{ReadBytesPerSec: 2e9, RowHitRate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Total <= 0 {
+		t.Error("DRAM power must be positive")
+	}
+}
+
+func TestTraceThroughAPI(t *testing.T) {
+	r, err := mcpat.SimulateTrace(
+		mcpat.CacheHierarchy{Cores: 2, L1Bytes: 16 << 10, L1Assoc: 2, BlockBytes: 64, L2Bytes: 1 << 20, L2Assoc: 8},
+		mcpat.TraceConfig{Name: "api", Seed: 1, Threads: 2, AccessesPerThread: 10_000,
+			LoadFrac: 0.25, StoreFrac: 0.1, SharedFrac: 0.1, WarmFrac: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Accesses == 0 || r.L1MissRate <= 0 {
+		t.Errorf("trace result incomplete: %+v", r)
+	}
+	w := r.ToWorkload(1e8)
+	if w.L1DMissRate != r.L1MissRate {
+		t.Error("workload bridge must carry measured rates")
+	}
+}
+
+func TestM5ThroughAPI(t *testing.T) {
+	dump, err := mcpat.ParseM5Stats(strings.NewReader(
+		"system.cpu.numCycles 1000 # c\nsystem.cpu.committedInsts 700 # n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := mcpat.M5ToStats(dump, 1e9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CoreRun.Decode != 0.7 {
+		t.Errorf("Decode = %v", stats.CoreRun.Decode)
+	}
+}
+
+func TestDSEThroughAPI(t *testing.T) {
+	res, err := mcpat.ExploreDesignSpace(
+		mcpat.DSEParams{Workloads: []mcpat.Workload{mcpat.SPLASH2LikeWorkloads()[0]}},
+		mcpat.DSESpace{Cores: []int{8}},
+		mcpat.DSEConstraints{},
+		mcpat.MaxPerfPerWatt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("DSE found nothing")
+	}
+}
+
+func TestPresetsThroughAPI(t *testing.T) {
+	if len(mcpat.Presets()) < 7 {
+		t.Error("expected at least 7 presets")
+	}
+	if _, err := mcpat.PresetByName("niagara2"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimingAndJSONThroughAPI(t *testing.T) {
+	p, err := mcpat.New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.TimingReport()) == 0 {
+		t.Error("timing report empty")
+	}
+	var buf bytes.Buffer
+	if err := p.Report(nil).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "peak_total_w") {
+		t.Error("JSON report missing fields")
+	}
+}
+
+func TestFloorplanThroughAPI(t *testing.T) {
+	// Floorplan the validation Niagara: 8 core tiles plus its L2 banks
+	// and memory controllers on the edge.
+	p, err := mcpat.New(mcpat.ValidationTargets()[0].Chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := p.Report(nil)
+	coreArea := rep.Find("Cores").Area / 8
+	plan, err := mcpat.PlanFloor(
+		mcpat.FloorplanBlock{Name: "core", Area: coreArea}, 8,
+		[]mcpat.FloorplanBlock{
+			{Name: "l2", Area: rep.Find("L2").Area, OnEdge: true},
+			{Name: "mc", Area: rep.Find("MemoryController").Area, OnEdge: true},
+		}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Width <= 0 || plan.MeshWireLength() <= 0 {
+		t.Errorf("degenerate floorplan: %+v", plan)
+	}
+	d, err := plan.Distance("core[0]", "core[7]")
+	if err != nil || d <= 0 {
+		t.Errorf("distance query failed: %v %v", d, err)
+	}
+}
+
+func TestWriteXMLWithStats(t *testing.T) {
+	cfg := smallConfig()
+	stats := &mcpat.Stats{L2Reads: 1e9, MCAccesses: 2e8}
+	var buf bytes.Buffer
+	if err := mcpat.WriteXMLWithStats(&buf, cfg, stats); err != nil {
+		t.Fatal(err)
+	}
+	got, gotStats, err := mcpat.LoadXML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumCores != cfg.NumCores {
+		t.Error("config lost in combined round trip")
+	}
+	if gotStats.L2Reads != 1e9 || gotStats.MCAccesses != 2e8 {
+		t.Errorf("stats lost in combined round trip: %+v", gotStats)
+	}
+}
