@@ -10,6 +10,7 @@ import (
 	"mcpat"
 	"mcpat/internal/array"
 	"mcpat/internal/tech"
+	"mcpat/internal/tech/techtest"
 )
 
 // BenchmarkAblationWireProjection compares the chip fabric under the
@@ -49,9 +50,9 @@ func BenchmarkAblationWireProjection(b *testing.B) {
 // 2MB cache under each optimization objective and reports the spread -
 // the internal-optimizer design choice.
 func BenchmarkAblationArrayObjective(b *testing.B) {
-	node := tech.MustByFeature(32)
+	node := techtest.Node(32)
 	mk := func(obj array.Objective) *array.Result {
-		return array.MustNew(array.Config{
+		return mustArray(array.Config{
 			Name: "abl", Tech: node, Periph: tech.HP, Cell: tech.HP,
 			Bytes: 2 << 20, BlockBits: 512, Assoc: 8, Obj: obj,
 		})
@@ -73,10 +74,10 @@ func BenchmarkAblationArrayObjective(b *testing.B) {
 // BenchmarkAblationCacheAccessMode compares parallel vs sequential
 // tag/data access of an L1-class cache.
 func BenchmarkAblationCacheAccessMode(b *testing.B) {
-	node := tech.MustByFeature(45)
+	node := techtest.Node(45)
 	mk := func(sequential bool) *array.Result {
 		s := sequential
-		return array.MustNew(array.Config{
+		return mustArray(array.Config{
 			Name: "l1", Tech: node, Periph: tech.HP, Cell: tech.HP,
 			Bytes: 32 << 10, BlockBits: 512, Assoc: 4, Sequential: &s,
 		})
@@ -204,4 +205,13 @@ func BenchmarkAblationEDRAMvsSRAM(b *testing.B) {
 	b.ReportMetric(sram.Area*1e6, "sram-mm2")
 	b.ReportMetric(edram.Area*1e6, "edram-mm2")
 	b.ReportMetric(edram.AccessTime()/sram.AccessTime(), "edram-latency-ratio")
+}
+
+// mustArray is the benchmark-only panicking variant of array.New.
+func mustArray(cfg array.Config) *array.Result {
+	r, err := array.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
 }

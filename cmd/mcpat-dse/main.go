@@ -3,6 +3,12 @@
 // technology node; prunes points that exceed the area/TDP budget; ranks
 // the survivors under the chosen objective; and prints the Pareto story.
 //
+// The sweep is parallel and fault tolerant: candidates are evaluated by a
+// bounded worker pool, a candidate whose evaluation faults or exceeds
+// -timeout is reported in a failure section without aborting the sweep
+// (unless -keep-going=false), and Ctrl-C stops the sweep promptly while
+// still printing the partial ranking.
+//
 // Example:
 //
 //	mcpat-dse -nm 22 -cores 16,32,64 -l2kb 128,256,512 \
@@ -10,9 +16,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -21,16 +30,19 @@ import (
 
 func main() {
 	var (
-		nm       = flag.Float64("nm", 22, "technology node (nm)")
-		clockGHz = flag.Float64("clock", 2.5, "clock (GHz)")
-		threads  = flag.Int("threads", 4, "hardware threads per core")
-		cores    = flag.String("cores", "16,32,64", "core counts to sweep")
-		l2kb     = flag.String("l2kb", "256", "per-core L2 KB to sweep")
-		clusters = flag.String("clusters", "1,2,4", "cluster sizes to sweep (mesh)")
-		maxArea  = flag.Float64("max-area", 400, "area budget (mm^2, 0 = none)")
-		maxTDP   = flag.Float64("max-tdp", 250, "TDP budget (W, 0 = none)")
-		objName  = flag.String("objective", "throughput", "throughput|perf/watt|ed2ap")
-		topN     = flag.Int("top", 8, "candidates to print")
+		nm        = flag.Float64("nm", 22, "technology node (nm)")
+		clockGHz  = flag.Float64("clock", 2.5, "clock (GHz)")
+		threads   = flag.Int("threads", 4, "hardware threads per core")
+		cores     = flag.String("cores", "16,32,64", "core counts to sweep")
+		l2kb      = flag.String("l2kb", "256", "per-core L2 KB to sweep")
+		clusters  = flag.String("clusters", "1,2,4", "cluster sizes to sweep (mesh)")
+		maxArea   = flag.Float64("max-area", 400, "area budget (mm^2, 0 = none)")
+		maxTDP    = flag.Float64("max-tdp", 250, "TDP budget (W, 0 = none)")
+		objName   = flag.String("objective", "throughput", "throughput|perf/watt|ed2ap")
+		topN      = flag.Int("top", 8, "candidates to print")
+		workers   = flag.Int("workers", 0, "parallel evaluations (0 = GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", 0, "per-candidate evaluation deadline (0 = none)")
+		keepGoing = flag.Bool("keep-going", true, "continue the sweep past failed candidates")
 	)
 	flag.Parse()
 
@@ -47,7 +59,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	res, err := mcpat.ExploreDesignSpace(
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	res, err := mcpat.ExploreDesignSpaceContext(ctx,
 		mcpat.DSEParams{NM: *nm, ClockHz: *clockGHz * 1e9, Threads: *threads},
 		mcpat.DSESpace{
 			Cores:        ints(*cores),
@@ -56,10 +71,21 @@ func main() {
 		},
 		mcpat.DSEConstraints{MaxAreaMM2: *maxArea, MaxTDP: *maxTDP},
 		obj,
+		&mcpat.DSEOptions{
+			Workers:          *workers,
+			CandidateTimeout: *timeout,
+			FailFast:         !*keepGoing,
+		},
 	)
-	if err != nil {
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
 		fmt.Fprintln(os.Stderr, "mcpat-dse:", err)
-		os.Exit(1)
+		if res == nil {
+			os.Exit(1)
+		}
+	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "mcpat-dse: interrupted; showing partial results")
 	}
 
 	fmt.Printf("Explored %d design points (%d feasible) at %gnm under %s\n\n",
@@ -80,12 +106,24 @@ func main() {
 			c.Perf/1e9, c.Perf/1e9/c.RunW, c.Score, status)
 		shown++
 	}
+	if len(res.Failures) > 0 {
+		fmt.Printf("\n%d candidate(s) failed to evaluate:\n", len(res.Failures))
+		for _, f := range res.Failures {
+			fmt.Printf("  %s\n", firstLine(f.String()))
+		}
+	}
 	if res.Best != nil {
 		fmt.Printf("\nBest: %d cores, %d KB L2/core, cluster=%d  (%.1f W, %.1f mm^2, %.1f GIPS)\n",
 			res.Best.Cores, res.Best.L2PerCoreKB, res.Best.ClusterSize,
 			res.Best.TDP, res.Best.AreaMM2, res.Best.Perf/1e9)
 	} else {
 		fmt.Println("\nNo feasible design under the given budget.")
+	}
+	if interrupted {
+		os.Exit(130)
+	}
+	if err != nil {
+		os.Exit(1)
 	}
 }
 
@@ -104,4 +142,12 @@ func ints(csv string) []int {
 		out = append(out, v)
 	}
 	return out
+}
+
+// firstLine trims a multi-line failure (panic stacks) for terminal output.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }

@@ -15,11 +15,11 @@
 package array
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
 	"mcpat/internal/circuit"
+	"mcpat/internal/guard"
 	"mcpat/internal/power"
 	"mcpat/internal/tech"
 )
@@ -137,11 +137,11 @@ type Result struct {
 // validate normalizes the config, returning total bits and output width.
 func (cfg *Config) validate() (totalBits, wordBits int, err error) {
 	if cfg.Tech == nil {
-		return 0, 0, errors.New("array: nil technology node")
+		return 0, 0, guard.Configf(cfg.Name, "nil technology node")
 	}
 	switch {
 	case cfg.Bytes > 0 && cfg.Entries > 0:
-		return 0, 0, fmt.Errorf("array %q: specify Bytes or Entries, not both", cfg.Name)
+		return 0, 0, guard.Configf(cfg.Name, "specify Bytes or Entries, not both")
 	case cfg.Bytes > 0:
 		totalBits = cfg.Bytes * 8
 		wordBits = cfg.BlockBits
@@ -150,7 +150,7 @@ func (cfg *Config) validate() (totalBits, wordBits int, err error) {
 		}
 	case cfg.Entries > 0:
 		if cfg.EntryBits <= 0 {
-			return 0, 0, fmt.Errorf("array %q: Entries given without EntryBits", cfg.Name)
+			return 0, 0, guard.Configf(cfg.Name, "Entries given without EntryBits")
 		}
 		totalBits = cfg.Entries * cfg.EntryBits
 		wordBits = cfg.BlockBits
@@ -158,7 +158,7 @@ func (cfg *Config) validate() (totalBits, wordBits int, err error) {
 			wordBits = cfg.EntryBits
 		}
 	default:
-		return 0, 0, fmt.Errorf("array %q: no capacity given", cfg.Name)
+		return 0, 0, guard.Configf(cfg.Name, "no capacity given")
 	}
 	if cfg.Banks <= 0 {
 		cfg.Banks = 1
@@ -170,7 +170,7 @@ func (cfg *Config) validate() (totalBits, wordBits int, err error) {
 		wordBits = totalBits
 	}
 	if cfg.Assoc < 0 {
-		return 0, 0, fmt.Errorf("array %q: negative associativity", cfg.Name)
+		return 0, 0, guard.Configf(cfg.Name, "negative associativity")
 	}
 	return totalBits, wordBits, nil
 }
@@ -201,15 +201,6 @@ func New(cfg Config) (*Result, error) {
 		applyEDRAM(&cfg, res, totalBits)
 	}
 	return res, nil
-}
-
-// MustNew is New but panics on error, for known-good configurations.
-func MustNew(cfg Config) *Result {
-	r, err := New(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return r
 }
 
 // ports returns the total cell port count (CAM search ports handled by
@@ -302,7 +293,7 @@ func optimize(cfg Config, totalBits, wordBits int) (*Result, error) {
 	}
 	if best == nil {
 		if fastest == nil {
-			return nil, fmt.Errorf("array %q: no feasible organization for %d bits", cfg.Name, totalBits)
+			return nil, guard.Infeasiblef(cfg.Name, "no feasible organization for %d bits", totalBits)
 		}
 		best = fastest
 	}

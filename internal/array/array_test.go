@@ -6,12 +6,13 @@ import (
 	"testing/quick"
 
 	"mcpat/internal/tech"
+	"mcpat/internal/tech/techtest"
 )
 
 func l1Cfg(bytes int) Config {
 	return Config{
 		Name:      "l1",
-		Tech:      tech.MustByFeature(90),
+		Tech:      techtest.Node(90),
 		Periph:    tech.HP,
 		Cell:      tech.HP,
 		Bytes:     bytes,
@@ -48,7 +49,7 @@ func TestL1CachePlausible(t *testing.T) {
 func TestL2CachePlausible(t *testing.T) {
 	cfg := Config{
 		Name:      "l2",
-		Tech:      tech.MustByFeature(90),
+		Tech:      techtest.Node(90),
 		Periph:    tech.HP,
 		Cell:      tech.HP,
 		Bytes:     3 * 1024 * 1024,
@@ -99,7 +100,7 @@ func TestCacheEnergyGrowsWithCapacity(t *testing.T) {
 func TestTechnologyScalingShrinksArrays(t *testing.T) {
 	mk := func(nm float64) *Result {
 		cfg := l1Cfg(32 * 1024)
-		cfg.Tech = tech.MustByFeature(nm)
+		cfg.Tech = techtest.Node(nm)
 		return MustNew(cfg)
 	}
 	a90, a45 := mk(90), mk(45)
@@ -145,7 +146,7 @@ func TestObjectiveTradeoffs(t *testing.T) {
 func TestRegisterFile(t *testing.T) {
 	cfg := Config{
 		Name:      "intRF",
-		Tech:      tech.MustByFeature(90),
+		Tech:      techtest.Node(90),
 		Periph:    tech.HP,
 		Cell:      tech.HP,
 		Entries:   128,
@@ -174,7 +175,7 @@ func TestRegisterFile(t *testing.T) {
 func TestCAMTLB(t *testing.T) {
 	cfg := Config{
 		Name:        "dtlb",
-		Tech:        tech.MustByFeature(90),
+		Tech:        techtest.Node(90),
 		Periph:      tech.HP,
 		Cell:        tech.HP,
 		Entries:     64,
@@ -207,7 +208,7 @@ func TestCAMTLB(t *testing.T) {
 func TestDFFArray(t *testing.T) {
 	cfg := Config{
 		Name:      "fetchbuf",
-		Tech:      tech.MustByFeature(65),
+		Tech:      techtest.Node(65),
 		Periph:    tech.HP,
 		Cell:      tech.HP,
 		Entries:   16,
@@ -233,7 +234,7 @@ func TestDFFArray(t *testing.T) {
 }
 
 func TestConfigValidation(t *testing.T) {
-	n := tech.MustByFeature(90)
+	n := techtest.Node(90)
 	cases := []Config{
 		{},        // no tech
 		{Tech: n}, // no capacity
@@ -251,7 +252,7 @@ func TestConfigValidation(t *testing.T) {
 func TestBankingReducesCycleTime(t *testing.T) {
 	mk := func(banks int) *Result {
 		cfg := Config{
-			Name: "big", Tech: tech.MustByFeature(65), Periph: tech.HP, Cell: tech.HP,
+			Name: "big", Tech: techtest.Node(65), Periph: tech.HP, Cell: tech.HP,
 			Bytes: 4 * 1024 * 1024, BlockBits: 512, Banks: banks,
 		}
 		return MustNew(cfg)
@@ -279,7 +280,7 @@ func TestSequentialVsParallelAccess(t *testing.T) {
 }
 
 func TestQuickArrayInvariants(t *testing.T) {
-	n := tech.MustByFeature(45)
+	n := techtest.Node(45)
 	f := func(kbExp, assocExp uint8) bool {
 		kb := 4 << (kbExp % 7)       // 4..256 KB
 		assoc := 1 << (assocExp % 4) // 1..8
@@ -301,7 +302,7 @@ func TestQuickArrayInvariants(t *testing.T) {
 }
 
 func TestEDRAMCharacteristics(t *testing.T) {
-	n := tech.MustByFeature(32)
+	n := techtest.Node(32)
 	mk := func(kind CellType) *Result {
 		return MustNew(Config{
 			Name: "llc-slice", Tech: n, Periph: tech.HP, Cell: tech.LSTP,
@@ -330,7 +331,7 @@ func TestEDRAMCharacteristics(t *testing.T) {
 }
 
 func TestEDRAMRefreshScalesWithCapacity(t *testing.T) {
-	n := tech.MustByFeature(32)
+	n := techtest.Node(32)
 	mk := func(mb int) *Result {
 		return MustNew(Config{
 			Name: "e", Tech: n, Periph: tech.HP, Cell: tech.LSTP,
@@ -345,7 +346,7 @@ func TestEDRAMRefreshScalesWithCapacity(t *testing.T) {
 }
 
 func TestEDRAMAssociativeCache(t *testing.T) {
-	n := tech.MustByFeature(32)
+	n := techtest.Node(32)
 	r := MustNew(Config{
 		Name: "l3", Tech: n, Periph: tech.HP, Cell: tech.LSTP,
 		Bytes: 16 * 1024 * 1024, BlockBits: 512, Assoc: 16, Banks: 4,
@@ -361,4 +362,14 @@ func TestEDRAMAssociativeCache(t *testing.T) {
 	if r.Area >= sram.Area {
 		t.Error("eDRAM cache must be smaller than SRAM cache")
 	}
+}
+
+// MustNew is the test-only panicking variant of New; the production
+// constructor returns an error instead.
+func MustNew(cfg Config) *Result {
+	r, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
 }

@@ -4,11 +4,12 @@ import (
 	"testing"
 
 	"mcpat/internal/tech"
+	"mcpat/internal/tech/techtest"
 )
 
 func l2cfg() Config {
 	return Config{
-		Name: "l2", Tech: tech.MustByFeature(65), Dev: tech.HP,
+		Name: "l2", Tech: techtest.Node(65), Dev: tech.HP,
 		Bytes: 2 * 1024 * 1024, BlockBytes: 64, Assoc: 8, Banks: 4,
 		TargetHz: 2e9,
 	}
@@ -120,7 +121,7 @@ func TestCacheValidation(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Error("nil tech must fail")
 	}
-	if _, err := New(Config{Tech: tech.MustByFeature(65)}); err == nil {
+	if _, err := New(Config{Tech: techtest.Node(65)}); err == nil {
 		t.Error("zero capacity must fail")
 	}
 }

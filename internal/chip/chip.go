@@ -12,6 +12,7 @@ import (
 	"mcpat/internal/cache"
 	"mcpat/internal/clock"
 	"mcpat/internal/core"
+	"mcpat/internal/guard"
 	"mcpat/internal/interconnect"
 	"mcpat/internal/logic"
 	"mcpat/internal/mc"
@@ -178,17 +179,25 @@ type Processor struct {
 	baseArea float64 // component area before top-level overheads
 }
 
-// New synthesizes the processor.
-func New(cfg Config) (*Processor, error) {
+// New synthesizes the processor. It is a panic-containment boundary: a
+// fault anywhere in the model internals surfaces as an ErrInternal, and
+// malformed configurations surface as ErrConfig - never as a crash of
+// the host process.
+func New(cfg Config) (p *Processor, err error) {
+	path := cfg.Name
+	if path == "" {
+		path = "chip"
+	}
+	defer guard.Recover(&err, path)
 	if cfg.NumCores <= 0 {
-		return nil, fmt.Errorf("chip %q: NumCores must be positive", cfg.Name)
+		return nil, guard.Configf(path, "NumCores must be positive")
 	}
 	if cfg.ClockHz <= 0 {
-		return nil, fmt.Errorf("chip %q: clock frequency required", cfg.Name)
+		return nil, guard.Configf(path, "clock frequency required")
 	}
 	node, err := tech.ByFeature(cfg.NM)
 	if err != nil {
-		return nil, fmt.Errorf("chip %q: %w", cfg.Name, err)
+		return nil, guard.At(err, path)
 	}
 	if cfg.Temperature > 0 {
 		node.Temperature = cfg.Temperature
@@ -209,7 +218,7 @@ func New(cfg Config) (*Processor, error) {
 		cfg.ClockGating = 0.75
 	}
 
-	p := &Processor{Cfg: cfg, Tech: node}
+	p = &Processor{Cfg: cfg, Tech: node}
 
 	// ---- Core -----------------------------------------------------------
 	ccfg := cfg.Core
@@ -221,7 +230,7 @@ func New(cfg Config) (*Processor, error) {
 		ccfg.Name = "core"
 	}
 	if p.CoreModel, err = core.New(ccfg); err != nil {
-		return nil, err
+		return nil, guard.Wrap(guard.ErrConfig, path+".core", err)
 	}
 	if cfg.CorePeak != nil {
 		p.corePeak = *cfg.CorePeak
@@ -247,15 +256,17 @@ func New(cfg Config) (*Processor, error) {
 		return cache.New(c)
 	}
 	if p.L2, err = mkCache(cfg.L2); err != nil {
-		return nil, err
+		return nil, guard.Wrap(guard.ErrConfig, path+".l2", err)
 	}
 	if p.L3, err = mkCache(cfg.L3); err != nil {
-		return nil, err
+		return nil, guard.Wrap(guard.ErrConfig, path+".l3", err)
 	}
 
 	// ---- Shared FPUs ------------------------------------------------------
 	if cfg.SharedFPUs > 0 {
-		p.fpu = logic.FunctionalUnit(node, cfg.Dev, cfg.LongChannel, logic.FPU)
+		if p.fpu, err = logic.FunctionalUnit(node, cfg.Dev, cfg.LongChannel, logic.FPU); err != nil {
+			return nil, guard.At(err, path)
+		}
 	}
 
 	// ---- Off-chip interfaces ----------------------------------------------
@@ -265,7 +276,7 @@ func New(cfg Config) (*Processor, error) {
 		m.Dev = cfg.Dev
 		m.LongChannel = cfg.LongChannel
 		if p.mcCtl, err = mc.New(m); err != nil {
-			return nil, err
+			return nil, guard.Wrap(guard.ErrConfig, path+".mc", err)
 		}
 	}
 	if cfg.NIU != nil {
@@ -275,7 +286,7 @@ func New(cfg Config) (*Processor, error) {
 		n.LongChannel = cfg.LongChannel
 		pat, err := mc.NewNIU(n)
 		if err != nil {
-			return nil, err
+			return nil, guard.Wrap(guard.ErrConfig, path+".niu", err)
 		}
 		p.niu = &pat
 	}
@@ -286,7 +297,7 @@ func New(cfg Config) (*Processor, error) {
 		n.LongChannel = cfg.LongChannel
 		pat, err := mc.NewPCIe(n)
 		if err != nil {
-			return nil, err
+			return nil, guard.Wrap(guard.ErrConfig, path+".pcie", err)
 		}
 		p.pcie = &pat
 	}
@@ -319,7 +330,7 @@ func New(cfg Config) (*Processor, error) {
 	case Mesh:
 		mx, my := cfg.NoC.MeshX, cfg.NoC.MeshY
 		if mx <= 0 || my <= 0 {
-			return nil, fmt.Errorf("chip %q: mesh NoC requires MeshX/MeshY", cfg.Name)
+			return nil, guard.Configf(path+".noc", "mesh NoC requires MeshX/MeshY")
 		}
 		// The router's local port fans out to the whole cluster: with
 		// clustering the router serves ClusterSize cores plus the L2

@@ -2,6 +2,7 @@ package chip
 
 import (
 	"mcpat/internal/core"
+	"mcpat/internal/guard"
 	"mcpat/internal/power"
 )
 
@@ -11,7 +12,45 @@ const topLevelOverhead = 1.12
 
 // Report builds the hierarchical power/area report of the whole chip.
 // stats may be nil, in which case only TDP columns are populated.
+//
+// Report never panics: a fault inside the models is contained and an
+// empty report (zero power and area) named after the chip is returned so
+// a host process survives. Callers that need the fault itself, or the
+// output sanity diagnostics, should use ReportE or Check.
 func (p *Processor) Report(stats *Stats) *power.Item {
+	rep, err := p.ReportE(stats)
+	if err != nil {
+		return power.NewItem(p.Cfg.Name)
+	}
+	return rep
+}
+
+// ReportE is Report with the panic-containment boundary exposed: a fault
+// inside the models surfaces as an ErrInternal instead of a crash or a
+// silently empty report.
+func (p *Processor) ReportE(stats *Stats) (rep *power.Item, err error) {
+	path := p.Cfg.Name
+	if path == "" {
+		path = "chip"
+	}
+	defer guard.Recover(&err, path+".Report")
+	return p.buildReport(stats), nil
+}
+
+// Check synthesizes the report and runs the output sanity guard over it:
+// every power/area value finite and non-negative, component trees summing
+// to their parents, runtime power within a sane multiple of TDP. It
+// returns the report together with the typed diagnostic list; err is
+// non-nil only when the report could not be built at all.
+func (p *Processor) Check(stats *Stats) (*power.Item, guard.Diagnostics, error) {
+	rep, err := p.ReportE(stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep, guard.CheckReport(rep, nil), nil
+}
+
+func (p *Processor) buildReport(stats *Stats) *power.Item {
 	cfg := &p.Cfg
 	hz := cfg.ClockHz
 	if stats == nil {

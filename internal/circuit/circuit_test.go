@@ -6,9 +6,10 @@ import (
 	"testing/quick"
 
 	"mcpat/internal/tech"
+	"mcpat/internal/tech/techtest"
 )
 
-func ctx90() Ctx { return NewCtx(tech.MustByFeature(90), tech.HP, false) }
+func ctx90() Ctx { return NewCtx(techtest.Node(90), tech.HP, false) }
 
 func TestFO4MatchesNode(t *testing.T) {
 	c := ctx90()
@@ -144,7 +145,7 @@ func TestPipelineWire(t *testing.T) {
 }
 
 func TestWireDelayImprovesWithBetterDevices(t *testing.T) {
-	n := tech.MustByFeature(45)
+	n := techtest.Node(45)
 	w := n.Wire(tech.Aggressive, tech.Global)
 	hp := NewCtx(n, tech.HP, false).RepeatedWire(w, 5e-3)
 	lstp := NewCtx(n, tech.LSTP, false).RepeatedWire(w, 5e-3)

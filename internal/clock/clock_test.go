@@ -4,13 +4,14 @@ import (
 	"testing"
 
 	"mcpat/internal/tech"
+	"mcpat/internal/tech/techtest"
 )
 
 func TestNiagaraClassClockPower(t *testing.T) {
 	// A 379 mm^2 chip at 1.2 GHz / 90 nm should burn several watts in the
 	// clock network (published full-chip clocks run ~15-30% of dynamic).
 	net, err := New(Config{
-		Tech:     tech.MustByFeature(90),
+		Tech:     techtest.Node(90),
 		Dev:      tech.HP,
 		ChipArea: 379e-6,
 		ClockHz:  1.2e9,
@@ -33,7 +34,7 @@ func TestNiagaraClassClockPower(t *testing.T) {
 
 func TestClockScalesWithAreaAndFrequency(t *testing.T) {
 	mk := func(area, hz float64) *Network {
-		n, err := New(Config{Tech: tech.MustByFeature(65), Dev: tech.HP, ChipArea: area, ClockHz: hz})
+		n, err := New(Config{Tech: techtest.Node(65), Dev: tech.HP, ChipArea: area, ClockHz: hz})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -52,7 +53,7 @@ func TestClockScalesWithAreaAndFrequency(t *testing.T) {
 }
 
 func TestExplicitSinkCap(t *testing.T) {
-	cfg := Config{Tech: tech.MustByFeature(45), Dev: tech.HP, ChipArea: 100e-6, ClockHz: 3e9, SinkCap: 2e-9}
+	cfg := Config{Tech: techtest.Node(45), Dev: tech.HP, ChipArea: 100e-6, ClockHz: 3e9, SinkCap: 2e-9}
 	n, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -63,7 +64,7 @@ func TestExplicitSinkCap(t *testing.T) {
 }
 
 func TestGatingFactor(t *testing.T) {
-	base := Config{Tech: tech.MustByFeature(45), Dev: tech.HP, ChipArea: 100e-6, ClockHz: 3e9}
+	base := Config{Tech: techtest.Node(45), Dev: tech.HP, ChipArea: 100e-6, ClockHz: 3e9}
 	def, _ := New(base)
 	base.GatingFactor = 1.0
 	ungated, _ := New(base)
@@ -76,10 +77,10 @@ func TestClockValidation(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Error("nil tech must fail")
 	}
-	if _, err := New(Config{Tech: tech.MustByFeature(90), ChipArea: 0, ClockHz: 1e9}); err == nil {
+	if _, err := New(Config{Tech: techtest.Node(90), ChipArea: 0, ClockHz: 1e9}); err == nil {
 		t.Error("zero area must fail")
 	}
-	if _, err := New(Config{Tech: tech.MustByFeature(90), ChipArea: 1e-6, ClockHz: 0}); err == nil {
+	if _, err := New(Config{Tech: techtest.Node(90), ChipArea: 1e-6, ClockHz: 0}); err == nil {
 		t.Error("zero clock must fail")
 	}
 }

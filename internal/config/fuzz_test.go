@@ -1,0 +1,82 @@
+package config
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mcpat/internal/presets"
+)
+
+// FuzzConfigParse asserts the no-panic contract of the XML front door:
+// arbitrary input either fails with an error or yields a chip
+// configuration and statistics vector whose numeric fields are all
+// finite. The seed corpus covers the test fixture plus every bundled
+// preset serialized through FromChipConfig, so mutation starts from
+// realistic documents.
+func FuzzConfigParse(f *testing.F) {
+	f.Add(sampleXML)
+	f.Add("")
+	f.Add("<component id=\"system\" type=\"System\"></component>")
+	f.Add(`<component id="system" type="System"><param name="tech_node_nm" value="nan"/></component>`)
+	f.Add(`<component id="system" type="System"><stat name="noc_flits_per_sec" value="inf"/></component>`)
+	for _, p := range presets.All() {
+		var sb strings.Builder
+		if err := FromChipConfig(p.Config).Write(&sb); err != nil {
+			f.Fatalf("preset %s did not serialize: %v", p.Name, err)
+		}
+		f.Add(sb.String())
+	}
+
+	f.Fuzz(func(t *testing.T, doc string) {
+		root, err := ParseString(doc)
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		cfg, err := ToChipConfig(root)
+		if err != nil {
+			return
+		}
+		if bad := nonFinitePath(reflect.ValueOf(cfg), "cfg"); bad != "" {
+			t.Fatalf("accepted config carries non-finite %s", bad)
+		}
+		if stats := ToStats(root); stats != nil {
+			if bad := nonFinitePath(reflect.ValueOf(*stats), "stats"); bad != "" {
+				t.Fatalf("accepted stats carry non-finite %s", bad)
+			}
+		}
+		// The accepted document must survive re-serialization.
+		if err := FromChipConfig(cfg).Write(&strings.Builder{}); err != nil {
+			t.Fatalf("accepted config did not re-serialize: %v", err)
+		}
+	})
+}
+
+// nonFinitePath walks structs, pointers, and slices looking for the
+// first NaN/Inf float64 and returns its field path ("" if none).
+func nonFinitePath(v reflect.Value, path string) string {
+	switch v.Kind() {
+	case reflect.Float64:
+		if f := v.Float(); math.IsNaN(f) || math.IsInf(f, 0) {
+			return path
+		}
+	case reflect.Pointer:
+		if !v.IsNil() {
+			return nonFinitePath(v.Elem(), path)
+		}
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			if bad := nonFinitePath(v.Field(i), path+"."+v.Type().Field(i).Name); bad != "" {
+				return bad
+			}
+		}
+	case reflect.Slice, reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			if bad := nonFinitePath(v.Index(i), path); bad != "" {
+				return bad
+			}
+		}
+	}
+	return ""
+}

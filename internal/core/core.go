@@ -489,12 +489,18 @@ func New(cfg Config) (*Core, error) {
 			return nil, err
 		}
 	}
-	c.alu = logic.FunctionalUnit(n, cfg.Dev, cfg.LongChannel, logic.IntALU)
+	if c.alu, err = logic.FunctionalUnit(n, cfg.Dev, cfg.LongChannel, logic.IntALU); err != nil {
+		return nil, err
+	}
 	if cfg.FPUs > 0 {
-		c.fpu = logic.FunctionalUnit(n, cfg.Dev, cfg.LongChannel, logic.FPU)
+		if c.fpu, err = logic.FunctionalUnit(n, cfg.Dev, cfg.LongChannel, logic.FPU); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.MulDivs > 0 {
-		c.mul = logic.FunctionalUnit(n, cfg.Dev, cfg.LongChannel, logic.MulDiv)
+		if c.mul, err = logic.FunctionalUnit(n, cfg.Dev, cfg.LongChannel, logic.MulDiv); err != nil {
+			return nil, err
+		}
 	}
 
 	// ---------------- LSU -----------------------------------------------

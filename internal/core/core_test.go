@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"mcpat/internal/tech"
+	"mcpat/internal/tech/techtest"
 )
 
 // niagaraCfg is a Sun Niagara (UltraSPARC T1) style in-order core: 4
@@ -13,7 +14,7 @@ import (
 func niagaraCfg() Config {
 	return Config{
 		Name:       "niagara-core",
-		Tech:       tech.MustByFeature(90),
+		Tech:       techtest.Node(90),
 		Dev:        tech.HP,
 		ClockHz:    1.2e9,
 		Threads:    4,
@@ -31,7 +32,7 @@ func niagaraCfg() Config {
 func alphaCfg() Config {
 	return Config{
 		Name:       "alpha-core",
-		Tech:       tech.MustByFeature(180),
+		Tech:       techtest.Node(180),
 		Dev:        tech.HP,
 		ClockHz:    1.2e9,
 		OoO:        true,
@@ -100,7 +101,7 @@ func TestAlphaCorePlausible(t *testing.T) {
 }
 
 func TestOoOCostsMoreThanInOrder(t *testing.T) {
-	n := tech.MustByFeature(65)
+	n := techtest.Node(65)
 	mk := func(ooo bool) float64 {
 		cfg := niagaraCfg()
 		cfg.Tech = n
@@ -159,13 +160,13 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Error("missing tech must fail")
 	}
-	if _, err := New(Config{Tech: tech.MustByFeature(90)}); err == nil {
+	if _, err := New(Config{Tech: techtest.Node(90)}); err == nil {
 		t.Error("missing clock must fail")
 	}
 }
 
 func TestDefaultsApplied(t *testing.T) {
-	cfg := Config{Name: "d", Tech: tech.MustByFeature(45), ClockHz: 2e9, OoO: true}
+	cfg := Config{Name: "d", Tech: techtest.Node(45), ClockHz: 2e9, OoO: true}
 	c, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -205,7 +206,7 @@ func TestActivityScale(t *testing.T) {
 }
 
 func TestQuickCoreScalesWithWidth(t *testing.T) {
-	n := tech.MustByFeature(32)
+	n := techtest.Node(32)
 	f := func(w uint8) bool {
 		width := int(w%6) + 1
 		cfg := Config{

@@ -5,16 +5,31 @@
 // with the bundled simulator, and ranks the survivors under a chosen
 // objective. This is the "architecting as constrained optimization" use
 // that McPAT was built to serve, packaged as a reusable engine.
+//
+// The engine is built for unattended sweeps over large, partly hostile
+// spaces: candidates are evaluated by a bounded worker pool under a
+// caller-supplied context, each evaluation runs behind its own panic
+// recovery and optional deadline, every synthesized chip passes the
+// output sanity guard, and a sweep where some candidates fail returns
+// the surviving ranked results plus a per-candidate failure report
+// instead of aborting.
 package explore
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"strings"
+	"sync"
+	"time"
 
 	"mcpat/internal/cache"
 	"mcpat/internal/chip"
 	"mcpat/internal/core"
+	"mcpat/internal/guard"
 	"mcpat/internal/mc"
 	"mcpat/internal/perfsim"
 )
@@ -85,12 +100,65 @@ type Candidate struct {
 	Score    float64
 }
 
+// name returns the component path of the design point, used in errors.
+func (c *Candidate) name() string {
+	return fmt.Sprintf("dse[%dc-%dkb-%v-cl%d]", c.Cores, c.L2PerCoreKB, c.Fabric, c.ClusterSize)
+}
+
+// Failure reports one candidate whose evaluation failed hard: a panic
+// inside the models, a per-candidate deadline, or outputs that violated
+// the sanity guard. Budget rejections are not failures - those stay in
+// Result.Candidates as infeasible points.
+type Failure struct {
+	Candidate Candidate // the design point (axes populated; metrics may be partial)
+	Err       error     // structured cause; classify with errors.Is and the guard kinds
+}
+
+func (f Failure) String() string {
+	// The error usually already leads with the candidate path (guard
+	// errors do); avoid stuttering it.
+	if msg := fmt.Sprint(f.Err); strings.HasPrefix(msg, f.Candidate.name()) {
+		return msg
+	}
+	return fmt.Sprintf("%s: %v", f.Candidate.name(), f.Err)
+}
+
 // Result is the completed exploration.
 type Result struct {
-	Candidates []Candidate // every point, feasible first, ranked by score
+	Candidates []Candidate // every evaluated point, feasible first, ranked by score
 	Best       *Candidate  // nil if nothing feasible
-	Evaluated  int
+	Evaluated  int         // points whose evaluation ran (including failures)
 	Feasible   int
+	Failures   []Failure // hard per-candidate failures, in enumeration order
+}
+
+// Options tunes the parallel engine. The zero value (or nil) selects the
+// documented defaults.
+type Options struct {
+	// Workers bounds concurrent candidate evaluations.
+	// <= 0 selects runtime.GOMAXPROCS(0).
+	Workers int
+
+	// CandidateTimeout is the per-candidate evaluation deadline; a
+	// candidate exceeding it is reported as a Failure wrapping
+	// context.DeadlineExceeded. 0 disables the deadline.
+	CandidateTimeout time.Duration
+
+	// FailFast aborts the sweep at the first hard failure instead of
+	// degrading gracefully. The default (false) keeps going: failed
+	// candidates land in Result.Failures and the survivors are ranked.
+	FailFast bool
+}
+
+func (o *Options) defaults() Options {
+	var out Options
+	if o != nil {
+		out = *o
+	}
+	if out.Workers <= 0 {
+		out.Workers = runtime.GOMAXPROCS(0)
+	}
+	return out
 }
 
 func (s *Space) defaults() {
@@ -127,6 +195,29 @@ func (p *Params) defaults() error {
 	return nil
 }
 
+// enumerate lists every design point of the space in deterministic
+// order; the result ordering of a sweep derives from this order, so runs
+// are reproducible regardless of worker count.
+func enumerate(space Space) []Candidate {
+	var specs []Candidate
+	for _, cores := range space.Cores {
+		for _, l2kb := range space.L2PerCoreKB {
+			for _, fab := range space.Fabrics {
+				clusterSizes := space.ClusterSizes
+				if fab != chip.Mesh {
+					clusterSizes = []int{1}
+				}
+				for _, cl := range clusterSizes {
+					specs = append(specs, Candidate{
+						Cores: cores, L2PerCoreKB: l2kb, Fabric: fab, ClusterSize: cl,
+					})
+				}
+			}
+		}
+	}
+	return specs
+}
+
 func meshDims(n int) (int, int) {
 	x, y := 1, 1
 	for x*y < n {
@@ -157,7 +248,7 @@ func buildConfig(p Params, c Candidate) (chip.Config, error) {
 	}
 	switch c.Fabric {
 	case chip.Mesh:
-		if c.Cores%c.ClusterSize != 0 {
+		if c.ClusterSize <= 0 || c.Cores%c.ClusterSize != 0 {
 			return cfg, fmt.Errorf("cluster %d does not divide %d cores", c.ClusterSize, c.Cores)
 		}
 		clusters := c.Cores / c.ClusterSize
@@ -178,36 +269,113 @@ func buildConfig(p Params, c Candidate) (chip.Config, error) {
 	return cfg, nil
 }
 
-// Search runs the exhaustive exploration.
+// Search runs the exhaustive exploration sequentially-equivalent on the
+// background context with default options. Kept as the simple entry
+// point; SearchContext is the production engine.
 func Search(p Params, space Space, cons Constraints, obj Objective) (*Result, error) {
+	return SearchContext(context.Background(), p, space, cons, obj, nil)
+}
+
+// SearchContext runs the exploration on a bounded worker pool under the
+// caller's context.
+//
+// Fault tolerance: each candidate is evaluated behind its own panic
+// recovery and (optional) deadline, so one poisoned design point cannot
+// abort the sweep - it is reported in Result.Failures and the surviving
+// candidates are ranked as usual (unless Options.FailFast is set, in
+// which case the first hard failure is returned as the error alongside
+// the partial result).
+//
+// Cancellation: when ctx is cancelled mid-sweep the engine stops
+// promptly, abandons in-flight evaluations, and returns the partial
+// result together with ctx.Err(). Result ordering is deterministic for a
+// given space regardless of worker count or completion order.
+func SearchContext(ctx context.Context, p Params, space Space, cons Constraints, obj Objective, opts *Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := p.defaults(); err != nil {
 		return nil, err
 	}
 	space.defaults()
+	o := opts.defaults()
 
-	res := &Result{}
-	for _, cores := range space.Cores {
-		for _, l2kb := range space.L2PerCoreKB {
-			for _, fab := range space.Fabrics {
-				clusterSizes := space.ClusterSizes
-				if fab != chip.Mesh {
-					clusterSizes = []int{1}
+	specs := enumerate(space)
+
+	type outcome struct {
+		cand Candidate
+		err  error
+		ran  bool
+	}
+	outs := make([]outcome, len(specs))
+
+	// A derived context lets FailFast stop the pool without conflating
+	// that with caller cancellation.
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		firstFailure error
+		failMu       sync.Mutex
+	)
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	workers := o.Workers
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				if ctx.Err() != nil {
+					continue // drain without evaluating
 				}
-				for _, cl := range clusterSizes {
-					cand := Candidate{
-						Cores: cores, L2PerCoreKB: l2kb, Fabric: fab, ClusterSize: cl,
+				cand := specs[idx]
+				err := evalCandidate(ctx, o.CandidateTimeout, p, cons, obj, &cand)
+				outs[idx] = outcome{cand: cand, err: err, ran: true}
+				if err != nil && o.FailFast {
+					failMu.Lock()
+					if firstFailure == nil {
+						firstFailure = err
 					}
-					if err := evaluate(p, cons, obj, &cand); err != nil {
-						return nil, err
-					}
-					res.Evaluated++
-					if cand.Feasible {
-						res.Feasible++
-					}
-					res.Candidates = append(res.Candidates, cand)
+					failMu.Unlock()
+					cancel()
 				}
 			}
+		}()
+	}
+feed:
+	for i := range specs {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
 		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	res := &Result{}
+	for i := range outs {
+		if !outs[i].ran {
+			continue
+		}
+		res.Evaluated++
+		if outs[i].err != nil {
+			res.Failures = append(res.Failures, Failure{Candidate: outs[i].cand, Err: outs[i].err})
+			continue
+		}
+		if outs[i].cand.Feasible {
+			res.Feasible++
+		}
+		res.Candidates = append(res.Candidates, outs[i].cand)
 	}
 	sort.SliceStable(res.Candidates, func(i, j int) bool {
 		a, b := res.Candidates[i], res.Candidates[j]
@@ -219,10 +387,62 @@ func Search(p Params, space Space, cons Constraints, obj Objective) (*Result, er
 	if len(res.Candidates) > 0 && res.Candidates[0].Feasible {
 		res.Best = &res.Candidates[0]
 	}
+	if err := parent.Err(); err != nil {
+		return res, err
+	}
+	if o.FailFast && firstFailure != nil {
+		return res, firstFailure
+	}
 	return res, nil
 }
 
+// evalCandidate evaluates one design point behind its own panic-recovery
+// boundary and, when timeout > 0, its own deadline. The evaluation runs
+// in a child goroutine so that cancellation and deadlines take effect
+// promptly even while the (CPU-bound) models are busy; a timed-out
+// evaluation is abandoned and its late result discarded.
+func evalCandidate(ctx context.Context, timeout time.Duration, p Params, cons Constraints, obj Objective, cand *Candidate) error {
+	cctx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		cctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	type evalOut struct {
+		cand Candidate
+		err  error
+	}
+	ch := make(chan evalOut, 1)
+	go func() {
+		c := *cand
+		err := func() (err error) {
+			defer guard.Recover(&err, c.name())
+			return evaluate(p, cons, obj, &c)
+		}()
+		ch <- evalOut{c, err}
+	}()
+	select {
+	case out := <-ch:
+		*cand = out.cand
+		return out.err
+	case <-cctx.Done():
+		return guard.At(cctx.Err(), cand.name())
+	}
+}
+
+// testEvalHook, when non-nil, runs at the start of every candidate
+// evaluation inside the recovery boundary. Tests use it to poison or
+// stall specific candidates.
+var testEvalHook func(c *Candidate)
+
+// evaluate synthesizes and scores one design point. A nil return with
+// cand.Feasible == false means the point was legitimately rejected
+// (malformed combination or budget violation); a non-nil error is a hard
+// failure of the models themselves.
 func evaluate(p Params, cons Constraints, obj Objective, cand *Candidate) error {
+	if testEvalHook != nil {
+		testEvalHook(cand)
+	}
 	cfg, err := buildConfig(p, *cand)
 	if err != nil {
 		cand.Reject = err.Error()
@@ -230,10 +450,23 @@ func evaluate(p Params, cons Constraints, obj Objective, cand *Candidate) error 
 	}
 	proc, err := chip.New(cfg)
 	if err != nil {
+		// Config/infeasibility errors are expected rejections of the
+		// point; internal faults and domain violations are not.
+		if errors.Is(err, guard.ErrInternal) || errors.Is(err, guard.ErrModelDomain) {
+			return guard.At(err, cand.name())
+		}
 		cand.Reject = err.Error()
 		return nil
 	}
-	rep := proc.Report(nil)
+	rep, ds, err := proc.Check(nil)
+	if err != nil {
+		return guard.At(err, cand.name())
+	}
+	if dErr := ds.Err(); dErr != nil {
+		// The synthesized chip's numbers are not physical: fail loudly
+		// instead of ranking garbage.
+		return guard.At(dErr, cand.name())
+	}
 	cand.TDP = rep.Peak()
 	cand.AreaMM2 = rep.Area * 1e6
 
@@ -260,7 +493,7 @@ func evaluate(p Params, cons Constraints, obj Objective, cand *Candidate) error 
 	for _, w := range p.Workloads {
 		sim, err := perfsim.Run(m, w)
 		if err != nil {
-			return err
+			return guard.Wrap(guard.ErrInternal, cand.name(), err)
 		}
 		stats := &chip.Stats{
 			CoreRun:    sim.CoreActivity,
@@ -269,13 +502,20 @@ func evaluate(p Params, cons Constraints, obj Objective, cand *Candidate) error 
 			NoCFlits:   sim.FabricFlits,
 			MCAccesses: sim.MemAccessesS,
 		}
-		runRep := proc.Report(stats)
+		runRep, err := proc.ReportE(stats)
+		if err != nil {
+			return guard.At(err, cand.name())
+		}
 		sumPerf += sim.Throughput
 		logW += math.Log(runRep.RuntimeDynamic + runRep.Leakage())
 	}
 	n := float64(len(p.Workloads))
 	cand.Perf = sumPerf / n
 	cand.RunW = math.Exp(logW / n)
+	if !isFinitePositive(cand.Perf) || !isFinitePositive(cand.RunW) {
+		return guard.Domainf(cand.name(),
+			"non-physical evaluation: perf=%g runW=%g", cand.Perf, cand.RunW)
+	}
 	cand.Feasible = true
 
 	d := 1 / cand.Perf
@@ -289,6 +529,10 @@ func evaluate(p Params, cons Constraints, obj Objective, cand *Candidate) error 
 		cand.Score = 1 / (e * d * d * cand.AreaMM2)
 	}
 	return nil
+}
+
+func isFinitePositive(v float64) bool {
+	return v > 0 && !math.IsInf(v, 0)
 }
 
 func maxInt(a, b int) int {

@@ -5,11 +5,12 @@ import (
 	"testing/quick"
 
 	"mcpat/internal/tech"
+	"mcpat/internal/tech/techtest"
 )
 
 func routerCfg() RouterConfig {
 	return RouterConfig{
-		Tech:            tech.MustByFeature(65),
+		Tech:            techtest.Node(65),
 		Dev:             tech.HP,
 		FlitBits:        128,
 		Ports:           5,
@@ -75,7 +76,7 @@ func TestRouterValidation(t *testing.T) {
 func TestLinkEnergyScalesWithLength(t *testing.T) {
 	mk := func(mm float64) *Link {
 		l, err := NewLink(LinkConfig{
-			Tech: tech.MustByFeature(65), Dev: tech.HP,
+			Tech: techtest.Node(65), Dev: tech.HP,
 			FlitBits: 128, Length: mm * 1e-3, Clock: 1.4e9,
 		})
 		if err != nil {
@@ -96,7 +97,7 @@ func TestLinkEnergyScalesWithLength(t *testing.T) {
 
 func TestBus(t *testing.T) {
 	b, err := NewBus(BusConfig{
-		Tech: tech.MustByFeature(65), Dev: tech.HP,
+		Tech: techtest.Node(65), Dev: tech.HP,
 		Bits: 256, Length: 10e-3, Agents: 8, Clock: 1.4e9,
 	})
 	if err != nil {
@@ -107,20 +108,20 @@ func TestBus(t *testing.T) {
 	}
 	// More agents add load.
 	wide, _ := NewBus(BusConfig{
-		Tech: tech.MustByFeature(65), Dev: tech.HP,
+		Tech: techtest.Node(65), Dev: tech.HP,
 		Bits: 256, Length: 10e-3, Agents: 32, Clock: 1.4e9,
 	})
 	if wide.Energy.Read <= b.Energy.Read {
 		t.Error("more agents must increase bus transfer energy")
 	}
-	if _, err := NewBus(BusConfig{Tech: tech.MustByFeature(65), Bits: 0, Agents: 4}); err == nil {
+	if _, err := NewBus(BusConfig{Tech: techtest.Node(65), Bits: 0, Agents: 4}); err == nil {
 		t.Error("zero-width bus must fail")
 	}
 }
 
 func TestFlatCrossbar(t *testing.T) {
 	x, err := NewCrossbar(CrossbarConfig{
-		Tech: tech.MustByFeature(90), Dev: tech.HP,
+		Tech: techtest.Node(90), Dev: tech.HP,
 		InPorts: 8, OutPorts: 9, Bits: 128,
 	})
 	if err != nil {
@@ -132,7 +133,7 @@ func TestFlatCrossbar(t *testing.T) {
 		t.Errorf("crossbar area = %.3f mm^2, implausible for 8x9x128", mm2)
 	}
 	small, _ := NewCrossbar(CrossbarConfig{
-		Tech: tech.MustByFeature(90), Dev: tech.HP,
+		Tech: techtest.Node(90), Dev: tech.HP,
 		InPorts: 2, OutPorts: 2, Bits: 128,
 	})
 	if small.Energy.Read >= x.Energy.Read {
@@ -143,7 +144,7 @@ func TestFlatCrossbar(t *testing.T) {
 func TestRouterTechnologyScaling(t *testing.T) {
 	cfg := routerCfg()
 	r65, _ := NewRouter(cfg)
-	cfg.Tech = tech.MustByFeature(22)
+	cfg.Tech = techtest.Node(22)
 	r22, err := NewRouter(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -157,7 +158,7 @@ func TestRouterTechnologyScaling(t *testing.T) {
 }
 
 func TestQuickRouterInvariants(t *testing.T) {
-	n := tech.MustByFeature(32)
+	n := techtest.Node(32)
 	f := func(p, v, w uint8) bool {
 		cfg := RouterConfig{
 			Tech: n, Dev: tech.HP,
@@ -180,7 +181,7 @@ func TestQuickRouterInvariants(t *testing.T) {
 func TestLowSwingBusSavesEnergy(t *testing.T) {
 	mk := func(low bool) *Link {
 		b, err := NewBus(BusConfig{
-			Tech: tech.MustByFeature(65), Dev: tech.HP,
+			Tech: techtest.Node(65), Dev: tech.HP,
 			Bits: 256, Length: 12e-3, Agents: 8, Clock: 1.4e9,
 			LowSwing: low,
 		})

@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"mcpat/internal/circuit"
+	"mcpat/internal/guard"
 	"mcpat/internal/power"
 	"mcpat/internal/tech"
 )
@@ -70,10 +71,15 @@ const (
 // FunctionalUnit synthesizes one functional unit of the given kind on the
 // given technology/device. The returned PAT carries Energy.Read as the
 // per-operation energy and Delay as the latency of one pipeline stage.
-func FunctionalUnit(n *tech.Node, dt tech.DeviceType, longChannel bool, kind FUKind) power.PAT {
+// An unrecognized kind is reported as a configuration error rather than
+// a panic, keeping the model crash-free under bad inputs.
+func FunctionalUnit(n *tech.Node, dt tech.DeviceType, longChannel bool, kind FUKind) (power.PAT, error) {
 	ref, ok := fuRefs[kind]
 	if !ok {
-		panic(fmt.Sprintf("logic: unknown FU kind %v", kind))
+		return power.PAT{}, guard.Configf("logic", "unknown FU kind %v", kind)
+	}
+	if n == nil {
+		return power.PAT{}, guard.Configf("logic", "nil technology node")
 	}
 	d := n.Device(dt, longChannel)
 	fScale := n.Feature / refFeature
@@ -94,7 +100,7 @@ func FunctionalUnit(n *tech.Node, dt tech.DeviceType, longChannel bool, kind FUK
 		Static: power.Static{Sub: sub, Gate: gate},
 		Area:   area,
 		Delay:  delay,
-	}
+	}, nil
 }
 
 // DecoderConfig describes an instruction decoder block.

@@ -4,31 +4,33 @@ import (
 	"testing"
 	"testing/quick"
 
+	"mcpat/internal/power"
 	"mcpat/internal/tech"
+	"mcpat/internal/tech/techtest"
 )
 
 func TestFunctionalUnitReferenceValues(t *testing.T) {
-	n := tech.MustByFeature(90)
-	alu := FunctionalUnit(n, tech.HP, false, IntALU)
+	n := techtest.Node(90)
+	alu := mustFU(n, tech.HP, false, IntALU)
 	if pj := alu.Energy.Read * 1e12; pj < 5 || pj > 7 {
 		t.Errorf("90nm ALU energy = %.2f pJ, want ~6", pj)
 	}
 	if mm2 := alu.Area * 1e6; mm2 < 0.10 || mm2 > 0.12 {
 		t.Errorf("90nm ALU area = %.3f mm^2, want ~0.11", mm2)
 	}
-	fpu := FunctionalUnit(n, tech.HP, false, FPU)
+	fpu := mustFU(n, tech.HP, false, FPU)
 	if fpu.Energy.Read <= alu.Energy.Read || fpu.Area <= alu.Area {
 		t.Error("FPU must be bigger and hungrier than an ALU")
 	}
-	mul := FunctionalUnit(n, tech.HP, false, MulDiv)
+	mul := mustFU(n, tech.HP, false, MulDiv)
 	if !(mul.Energy.Read > alu.Energy.Read && mul.Energy.Read < fpu.Energy.Read) {
 		t.Error("MulDiv energy should sit between ALU and FPU")
 	}
 }
 
 func TestFunctionalUnitScaling(t *testing.T) {
-	a90 := FunctionalUnit(tech.MustByFeature(90), tech.HP, false, IntALU)
-	a45 := FunctionalUnit(tech.MustByFeature(45), tech.HP, false, IntALU)
+	a90 := mustFU(techtest.Node(90), tech.HP, false, IntALU)
+	a45 := mustFU(techtest.Node(45), tech.HP, false, IntALU)
 	areaRatio := a90.Area / a45.Area
 	if areaRatio < 3.5 || areaRatio > 4.5 {
 		t.Errorf("90->45 ALU area ratio = %.2f, want ~4", areaRatio)
@@ -42,23 +44,23 @@ func TestFunctionalUnitScaling(t *testing.T) {
 }
 
 func TestFunctionalUnitDeviceClasses(t *testing.T) {
-	n := tech.MustByFeature(45)
-	hp := FunctionalUnit(n, tech.HP, false, FPU)
-	lstp := FunctionalUnit(n, tech.LSTP, false, FPU)
+	n := techtest.Node(45)
+	hp := mustFU(n, tech.HP, false, FPU)
+	lstp := mustFU(n, tech.LSTP, false, FPU)
 	if lstp.Static.Sub >= hp.Static.Sub {
 		t.Errorf("LSTP FPU leakage (%.3g) must be far below HP (%.3g)", lstp.Static.Sub, hp.Static.Sub)
 	}
 	if lstp.Delay <= hp.Delay {
 		t.Error("LSTP FPU must be slower than HP")
 	}
-	lc := FunctionalUnit(n, tech.HP, true, FPU)
+	lc := mustFU(n, tech.HP, true, FPU)
 	if lc.Static.Sub >= hp.Static.Sub*0.2 {
 		t.Errorf("long-channel leakage (%.3g) should be ~10%% of standard (%.3g)", lc.Static.Sub, hp.Static.Sub)
 	}
 }
 
 func TestDecoder(t *testing.T) {
-	n := tech.MustByFeature(65)
+	n := techtest.Node(65)
 	risc := Decoder(n, tech.HP, false, DecoderConfig{Width: 4, OpcodeBits: 8})
 	cisc := Decoder(n, tech.HP, false, DecoderConfig{Width: 4, OpcodeBits: 8, X86: true})
 	if cisc.Energy.Read <= risc.Energy.Read || cisc.Area <= risc.Area {
@@ -75,7 +77,7 @@ func TestDecoder(t *testing.T) {
 }
 
 func TestDependencyCheckQuadraticInWidth(t *testing.T) {
-	n := tech.MustByFeature(65)
+	n := techtest.Node(65)
 	w2 := DependencyCheck(n, tech.HP, false, 2, 7)
 	w8 := DependencyCheck(n, tech.HP, false, 8, 7)
 	ratio := w8.Energy.Read / w2.Energy.Read
@@ -89,7 +91,7 @@ func TestDependencyCheckQuadraticInWidth(t *testing.T) {
 }
 
 func TestSelectionGrowsWithWindow(t *testing.T) {
-	n := tech.MustByFeature(65)
+	n := techtest.Node(65)
 	s16 := Selection(n, tech.HP, false, 16, 4)
 	s128 := Selection(n, tech.HP, false, 128, 4)
 	if s128.Energy.Read <= s16.Energy.Read {
@@ -104,7 +106,7 @@ func TestSelectionGrowsWithWindow(t *testing.T) {
 }
 
 func TestQuickLogicPositive(t *testing.T) {
-	n := tech.MustByFeature(32)
+	n := techtest.Node(32)
 	f := func(w, tb uint8) bool {
 		width := int(w%8) + 1
 		tag := int(tb%10) + 4
@@ -115,5 +117,23 @@ func TestQuickLogicPositive(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+// mustFU is the test-only panicking variant of FunctionalUnit.
+func mustFU(n *tech.Node, dt tech.DeviceType, longChannel bool, kind FUKind) power.PAT {
+	p, err := FunctionalUnit(n, dt, longChannel, kind)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestFunctionalUnitUnknownKind(t *testing.T) {
+	if _, err := FunctionalUnit(techtest.Node(90), tech.HP, false, FUKind(99)); err == nil {
+		t.Fatal("unknown FU kind must return an error, not panic")
+	}
+	if _, err := FunctionalUnit(nil, tech.HP, false, IntALU); err == nil {
+		t.Fatal("nil node must return an error, not panic")
 	}
 }

@@ -1,0 +1,42 @@
+package m5compat
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzM5Parse asserts the no-panic contract of the gem5 statistics
+// reader: arbitrary input either fails with an error or parses into
+// dumps whose values are finite, and any statistics vector accepted by
+// ToChipStats is finite in every field.
+func FuzzM5Parse(f *testing.F) {
+	f.Add(sampleStats)
+	f.Add("")
+	f.Add(dumpDelimiter + "\n")
+	f.Add("system.cpu0.numCycles nan # undefined ratio\nsim_seconds inf # bad\n")
+	f.Add("sim_seconds 1e-320 # denormal\nsystem.l2.overall_accesses::total 1e308 # huge\n")
+	f.Add("system.cpu.numCycles 1000 # single-core prefix\nsystem.cpu.committedInsts 900 # n\n")
+
+	f.Fuzz(func(t *testing.T, doc string) {
+		dumps, err := Parse(strings.NewReader(doc))
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		for _, d := range dumps {
+			for name, v := range d {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("Parse let non-finite %q = %v into the counter map", name, v)
+				}
+			}
+		}
+		stats, err := ToChipStats(dumps[len(dumps)-1], 2e9, 4)
+		if err != nil {
+			return
+		}
+		if bad := firstNonFinite(reflect.ValueOf(stats).Elem(), ""); bad != "" {
+			t.Fatalf("accepted stats carry non-finite field %s", bad)
+		}
+	})
+}

@@ -17,6 +17,8 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
+	"reflect"
 	"strconv"
 	"strings"
 
@@ -48,8 +50,11 @@ func Parse(r io.Reader) ([]Dump, error) {
 			continue
 		}
 		v, err := strconv.ParseFloat(fields[1], 64)
-		if err != nil {
-			continue // histogram buckets, "nan", etc.
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+			// Histogram buckets don't parse; ParseFloat does accept
+			// "nan"/"inf" spellings, which gem5 emits for undefined
+			// ratios - neither may poison the counter map.
+			continue
 		}
 		if cur == nil {
 			// Tolerate files without the delimiter header.
@@ -198,5 +203,29 @@ func ToChipStats(d Dump, clockHz float64, numCores int) (*chip.Stats, error) {
 	if v, ok := d.first("system.tol2bus.pkt_count::total"); ok {
 		stats.NoCFlits = v / seconds
 	}
+	if f := firstNonFinite(reflect.ValueOf(stats).Elem(), ""); f != "" {
+		// Extreme but individually-finite counters can still overflow a
+		// rate division (huge count over a denormal cycle time); such a
+		// dump is rejected rather than fed to the power models.
+		return nil, fmt.Errorf("m5compat: non-finite statistic %s", strings.TrimPrefix(f, "."))
+	}
 	return stats, nil
+}
+
+// firstNonFinite walks the float64 fields of a statistics struct (depth
+// first) and returns the path of the first NaN/Inf, or "" if all finite.
+func firstNonFinite(v reflect.Value, path string) string {
+	switch v.Kind() {
+	case reflect.Float64:
+		if f := v.Float(); math.IsNaN(f) || math.IsInf(f, 0) {
+			return path
+		}
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			if f := firstNonFinite(v.Field(i), path+"."+v.Type().Field(i).Name); f != "" {
+				return f
+			}
+		}
+	}
+	return ""
 }

@@ -4,11 +4,12 @@ import (
 	"testing"
 
 	"mcpat/internal/tech"
+	"mcpat/internal/tech/techtest"
 )
 
 func TestMemoryControllerPlausible(t *testing.T) {
 	c, err := New(Config{
-		Tech:          tech.MustByFeature(90),
+		Tech:          techtest.Node(90),
 		Dev:           tech.HP,
 		Channels:      4,
 		DataBusBits:   64,
@@ -32,7 +33,7 @@ func TestMemoryControllerPlausible(t *testing.T) {
 }
 
 func TestMCDefaults(t *testing.T) {
-	c, err := New(Config{Tech: tech.MustByFeature(65)})
+	c, err := New(Config{Tech: techtest.Node(65)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestMCDefaults(t *testing.T) {
 
 func TestMCFullSwingCostsMore(t *testing.T) {
 	mk := func(lvds bool) *Controller {
-		c, err := New(Config{Tech: tech.MustByFeature(65), Dev: tech.HP, Channels: 2, LVDS: lvds})
+		c, err := New(Config{Tech: techtest.Node(65), Dev: tech.HP, Channels: 2, LVDS: lvds})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -59,7 +60,7 @@ func TestMCFullSwingCostsMore(t *testing.T) {
 
 func TestMCScaling(t *testing.T) {
 	mk := func(nm float64) *Controller {
-		c, err := New(Config{Tech: tech.MustByFeature(nm), Dev: tech.HP, Channels: 2, PeakBandwidth: 20e9})
+		c, err := New(Config{Tech: techtest.Node(nm), Dev: tech.HP, Channels: 2, PeakBandwidth: 20e9})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -71,7 +72,7 @@ func TestMCScaling(t *testing.T) {
 }
 
 func TestNIU(t *testing.T) {
-	p, err := NewNIU(NIUConfig{Tech: tech.MustByFeature(65), Dev: tech.HP, Bandwidth: 10e9, Count: 2})
+	p, err := NewNIU(NIUConfig{Tech: techtest.Node(65), Dev: tech.HP, Bandwidth: 10e9, Count: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestNIU(t *testing.T) {
 }
 
 func TestPCIe(t *testing.T) {
-	p, err := NewPCIe(PCIeConfig{Tech: tech.MustByFeature(65), Dev: tech.HP, Lanes: 8, GbpsPerLane: 2.5})
+	p, err := NewPCIe(PCIeConfig{Tech: techtest.Node(65), Dev: tech.HP, Lanes: 8, GbpsPerLane: 2.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestPCIe(t *testing.T) {
 	if total < 0.3 || total > 6 {
 		t.Errorf("PCIe full-rate power = %.2f W, want 0.3-6", total)
 	}
-	d, err := NewPCIe(PCIeConfig{Tech: tech.MustByFeature(65)})
+	d, err := NewPCIe(PCIeConfig{Tech: techtest.Node(65)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,7 +4,7 @@ import (
 	"testing"
 
 	"mcpat/internal/perfsim"
-	"mcpat/internal/tech"
+	"mcpat/internal/tech/techtest"
 )
 
 func sweep(t *testing.T) []ClusterResult {
@@ -166,7 +166,7 @@ func TestDeviceStudyShape(t *testing.T) {
 
 func (r DeviceRow) deviceNodeKey() string { return nodeKey(r.NM) }
 
-func nodeKey(nm float64) string { return "@" + tech.MustByFeature(nm).Name }
+func nodeKey(nm float64) string { return "@" + techtest.Node(nm).Name }
 
 // TestTechSweep checks the cross-node sweep runs and prefers clustered
 // designs at every node.

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"mcpat/internal/guard"
 )
 
 // DeviceType selects one of the three ITRS transistor classes McPAT models.
@@ -262,8 +264,11 @@ func Nodes() []float64 {
 // table entries are interpolated in log space (the standard MASTAR
 // treatment); sizes outside [22, 180] are an error.
 func ByFeature(nm float64) (*Node, error) {
-	if nm < 22 || nm > 180 {
-		return nil, fmt.Errorf("tech: feature size %.0f nm outside supported range [22, 180]", nm)
+	// The NaN comparison traps: NaN fails both range tests below, so it
+	// must be rejected explicitly or it would interpolate to garbage.
+	if math.IsNaN(nm) || math.IsInf(nm, 0) || nm < 22 || nm > 180 {
+		return nil, guard.Configf("tech",
+			"feature size %.0f nm outside supported range [22, 180]", nm)
 	}
 	if raw, ok := rawNodes[nm]; ok {
 		n := buildNode(nm, raw)
@@ -293,16 +298,6 @@ func ByFeature(nm float64) (*Node, error) {
 	n.Name = fmt.Sprintf("%.0fnm", nm)
 	n.Feature = nm * 1e-9
 	return n, nil
-}
-
-// MustByFeature is ByFeature but panics on error; for use in tests,
-// examples, and tables with known-good inputs.
-func MustByFeature(nm float64) *Node {
-	n, err := ByFeature(nm)
-	if err != nil {
-		panic(err)
-	}
-	return n
 }
 
 func lerp(a, b, t float64) float64 { return a + (b-a)*t }

@@ -219,3 +219,13 @@ func TestQuickLeakageMonotoneInWidth(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// MustByFeature is the test-only panicking variant of ByFeature; the
+// production constructor returns an error instead.
+func MustByFeature(nm float64) *Node {
+	n, err := ByFeature(nm)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}

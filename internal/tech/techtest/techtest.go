@@ -1,0 +1,18 @@
+// Package techtest provides panicking technology-node constructors for
+// tests and benchmarks with known-good inputs. It exists so that no
+// panicking constructor lives in the production model packages: nothing
+// outside _test files may import it, keeping the public API free of
+// reachable panics (the no-panic contract documented in DESIGN.md).
+package techtest
+
+import "mcpat/internal/tech"
+
+// Node returns the technology node for the given feature size in
+// nanometers, panicking on error. Test-only.
+func Node(nm float64) *tech.Node {
+	n, err := tech.ByFeature(nm)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}

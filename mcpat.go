@@ -37,6 +37,7 @@
 package mcpat
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -48,6 +49,7 @@ import (
 	"mcpat/internal/dram"
 	"mcpat/internal/explore"
 	"mcpat/internal/floorplan"
+	"mcpat/internal/guard"
 	"mcpat/internal/m5compat"
 	"mcpat/internal/mc"
 	"mcpat/internal/perfsim"
@@ -117,7 +119,41 @@ const (
 )
 
 // New synthesizes a processor from a chip configuration.
+//
+// New never panics: faults inside the model layers are contained at this
+// boundary and classified into the error taxonomy below (ErrConfig,
+// ErrInfeasible, ErrModelDomain, ErrInternal). Inspect with errors.Is.
 func New(cfg Config) (*Processor, error) { return chip.New(cfg) }
+
+// Error taxonomy. Every error escaping the public API wraps exactly one
+// of these sentinel kinds; test with errors.Is.
+var (
+	// ErrConfig marks a malformed or out-of-range configuration.
+	ErrConfig = guard.ErrConfig
+	// ErrInfeasible marks a well-formed request with no physical
+	// solution (e.g. no array organization meets the clock target).
+	ErrInfeasible = guard.ErrInfeasible
+	// ErrModelDomain marks model output outside its validity domain
+	// (NaN/Inf/negative power, inconsistent component trees).
+	ErrModelDomain = guard.ErrModelDomain
+	// ErrInternal marks a contained panic or framework bug.
+	ErrInternal = guard.ErrInternal
+)
+
+// Output sanity guard.
+type (
+	// Diagnostic is one sanity violation found in a report tree.
+	Diagnostic = guard.Diagnostic
+	// Diagnostics is the full list from a sanity pass; Err() folds it
+	// into a single ErrModelDomain error.
+	Diagnostics = guard.Diagnostics
+)
+
+// CheckReport walks a power/area report and flags non-finite or negative
+// values, component trees whose children exceed their parent, and runtime
+// power beyond a sane multiple of TDP. An empty result means the report
+// passed every check.
+func CheckReport(rep *Report) Diagnostics { return guard.CheckReport(rep, nil) }
 
 // LoadXML parses a McPAT-style XML document and returns the chip
 // configuration plus any runtime statistics it carries.
@@ -297,6 +333,12 @@ type (
 	DSEResult = explore.Result
 	// DSEObjective ranks feasible candidates.
 	DSEObjective = explore.Objective
+	// DSEOptions tunes the parallel sweep engine (worker count,
+	// per-candidate deadline, fail-fast).
+	DSEOptions = explore.Options
+	// DSEFailure records a candidate whose evaluation faulted (panic,
+	// timeout) without aborting the sweep.
+	DSEFailure = explore.Failure
 )
 
 // DSE objectives.
@@ -313,6 +355,17 @@ const (
 // and returns candidates ranked by the objective.
 func ExploreDesignSpace(p DSEParams, space DSESpace, cons DSEConstraints, obj DSEObjective) (*DSEResult, error) {
 	return explore.Search(p, space, cons, obj)
+}
+
+// ExploreDesignSpaceContext is ExploreDesignSpace with cancellation and
+// fault tolerance: candidates are evaluated by a bounded worker pool,
+// a candidate that panics or exceeds the per-candidate deadline becomes a
+// DSEFailure in the result instead of aborting the sweep, and cancelling
+// ctx stops the sweep promptly, returning the partial result alongside
+// ctx's error. Result ordering is deterministic regardless of worker
+// count. opts may be nil for defaults.
+func ExploreDesignSpaceContext(ctx context.Context, p DSEParams, space DSESpace, cons DSEConstraints, obj DSEObjective, opts *DSEOptions) (*DSEResult, error) {
+	return explore.SearchContext(ctx, p, space, cons, obj, opts)
 }
 
 // Thermal co-analysis: solve the power-temperature fixed point.

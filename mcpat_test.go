@@ -2,6 +2,9 @@ package mcpat_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"math"
 	"strings"
 	"testing"
 
@@ -265,4 +268,60 @@ func TestWriteXMLWithStats(t *testing.T) {
 	if gotStats.L2Reads != 1e9 || gotStats.MCAccesses != 2e8 {
 		t.Errorf("stats lost in combined round trip: %+v", gotStats)
 	}
+}
+
+func TestErrorTaxonomyThroughAPI(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*mcpat.Config)
+		kind error
+	}{
+		{"bad node", func(c *mcpat.Config) { c.NM = 5 }, mcpat.ErrConfig},
+		{"nan node", func(c *mcpat.Config) { c.NM = math.NaN() }, mcpat.ErrConfig},
+		{"no cores", func(c *mcpat.Config) { c.NumCores = 0 }, mcpat.ErrConfig},
+	}
+	for _, tc := range cases {
+		cfg := smallConfig()
+		tc.mut(&cfg)
+		_, err := mcpat.New(cfg)
+		if err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+			continue
+		}
+		if !errors.Is(err, tc.kind) {
+			t.Errorf("%s: error %v does not wrap expected kind", tc.name, err)
+		}
+	}
+}
+
+func TestCheckReportThroughAPI(t *testing.T) {
+	p, err := mcpat.New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds := mcpat.CheckReport(p.Report(nil)); len(ds) != 0 {
+		t.Fatalf("healthy chip must pass the sanity guard: %v", ds)
+	}
+	bad := p.Report(nil)
+	bad.PeakDynamic = math.Inf(1)
+	if ds := mcpat.CheckReport(bad); len(ds) == 0 {
+		t.Fatal("Inf peak power must be flagged")
+	}
+}
+
+func TestExploreContextThroughAPI(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := mcpat.ExploreDesignSpaceContext(ctx,
+		mcpat.DSEParams{NM: 22, ClockHz: 2.5e9, Threads: 4},
+		mcpat.DSESpace{Cores: []int{16}},
+		mcpat.DSEConstraints{}, mcpat.MaxThroughput, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res == nil || res.Evaluated != 0 {
+		t.Fatalf("cancelled sweep must return the empty partial result: %+v", res)
+	}
+	var fail mcpat.DSEFailure
+	_ = fail // the failure type is part of the public surface
 }
