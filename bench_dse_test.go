@@ -1,0 +1,65 @@
+package mcpat_test
+
+// DSE sweep benchmarks: measure the end-to-end design-space-exploration
+// hot path that the synthesis cache accelerates. Each iteration runs a
+// full multi-candidate sweep (core count x L2 capacity x clustering), so
+// the reported candidates/sec is the planning-loop throughput a user of
+// cmd/mcpat-dse sees. The Cold variant resets and disables the cache to
+// give the uncached baseline; comparing the two is the cache's speedup
+// on sweep workloads (BENCH_dse.json records the reference numbers).
+
+import (
+	"testing"
+
+	"mcpat"
+)
+
+func dseSweep(b *testing.B) *mcpat.DSEResult {
+	b.Helper()
+	res, err := mcpat.ExploreDesignSpace(
+		mcpat.DSEParams{NM: 22, ClockHz: 2.5e9, Threads: 4},
+		mcpat.DSESpace{
+			Cores:        []int{8, 16, 32},
+			L2PerCoreKB:  []int{128, 256},
+			ClusterSizes: []int{1, 2},
+		},
+		mcpat.DSEConstraints{MaxAreaMM2: 400, MaxTDP: 250},
+		mcpat.MaxThroughput,
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Best == nil {
+		b.Fatal("sweep found no feasible design")
+	}
+	return res
+}
+
+// BenchmarkDSESweep measures sweep throughput with the synthesis cache
+// enabled (the default). After the first iteration warms the cache,
+// every candidate's arrays resolve to cache hits.
+func BenchmarkDSESweep(b *testing.B) {
+	mcpat.ResetArraySynthCache()
+	var evaluated int
+	for i := 0; i < b.N; i++ {
+		res := dseSweep(b)
+		evaluated = res.Evaluated
+	}
+	b.ReportMetric(float64(evaluated)*float64(b.N)/b.Elapsed().Seconds(), "candidates/s")
+	cs := mcpat.ArraySynthCacheStats()
+	b.ReportMetric(100*cs.HitRate(), "hit%")
+}
+
+// BenchmarkDSESweepCold is the uncached baseline: the cache is disabled
+// for the duration, so every candidate pays full synthesis cost.
+func BenchmarkDSESweepCold(b *testing.B) {
+	prev := mcpat.SetArraySynthCache(false)
+	defer mcpat.SetArraySynthCache(prev)
+	mcpat.ResetArraySynthCache()
+	var evaluated int
+	for i := 0; i < b.N; i++ {
+		res := dseSweep(b)
+		evaluated = res.Evaluated
+	}
+	b.ReportMetric(float64(evaluated)*float64(b.N)/b.Elapsed().Seconds(), "candidates/s")
+}

@@ -1,0 +1,84 @@
+package mcpat_test
+
+// Bit-identity contract for the synthesis cache at the whole-chip level:
+// for every validation target, the full power/area report tree produced
+// with the cache enabled (both the filling pass and the all-hits pass)
+// must be byte-for-byte equal to the tree produced with caching disabled.
+// The concurrent variant rebuilds all targets from parallel goroutines —
+// the explore-engine access pattern — and is the -race proof that shared
+// single-flight solves do not leak state between evaluations.
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"mcpat"
+)
+
+func uncachedReports(t *testing.T) map[string]*mcpat.Report {
+	t.Helper()
+	prev := mcpat.SetArraySynthCache(false)
+	defer mcpat.SetArraySynthCache(prev)
+	ref := make(map[string]*mcpat.Report)
+	for _, target := range mcpat.ValidationTargets() {
+		res, err := mcpat.Validate(target)
+		if err != nil {
+			t.Fatalf("%s uncached: %v", target.Ref.Name, err)
+		}
+		ref[target.Ref.Name] = res.Report
+	}
+	return ref
+}
+
+func TestCachedReportsBitIdentical(t *testing.T) {
+	ref := uncachedReports(t)
+	mcpat.ResetArraySynthCache()
+
+	for pass, label := range []string{"cold (cache-filling)", "warm (all hits)"} {
+		for _, target := range mcpat.ValidationTargets() {
+			res, err := mcpat.Validate(target)
+			if err != nil {
+				t.Fatalf("%s pass %d: %v", target.Ref.Name, pass, err)
+			}
+			if !reflect.DeepEqual(res.Report, ref[target.Ref.Name]) {
+				t.Errorf("%s: %s cached report differs from uncached reference",
+					target.Ref.Name, label)
+			}
+		}
+	}
+	if cs := mcpat.ArraySynthCacheStats(); cs.Hits == 0 {
+		t.Error("warm pass produced no cache hits; cache not exercised")
+	}
+}
+
+func TestCachedReportsBitIdenticalConcurrent(t *testing.T) {
+	ref := uncachedReports(t)
+	mcpat.ResetArraySynthCache()
+
+	const workers = 6
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, target := range mcpat.ValidationTargets() {
+				res, err := mcpat.Validate(target)
+				if err != nil {
+					errs <- target.Ref.Name + ": " + err.Error()
+					return
+				}
+				if !reflect.DeepEqual(res.Report, ref[target.Ref.Name]) {
+					errs <- target.Ref.Name + ": concurrent cached report differs from uncached reference"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+}

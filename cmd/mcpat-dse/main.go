@@ -43,6 +43,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel evaluations (0 = GOMAXPROCS)")
 		timeout   = flag.Duration("timeout", 0, "per-candidate evaluation deadline (0 = none)")
 		keepGoing = flag.Bool("keep-going", true, "continue the sweep past failed candidates")
+		stats     = flag.Bool("stats", false, "print synthesis-cache statistics for the sweep")
+		noCache   = flag.Bool("no-cache", false, "disable the synthesis result cache")
 	)
 	flag.Parse()
 
@@ -57,6 +59,10 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "mcpat-dse: unknown objective %q\n", *objName)
 		os.Exit(2)
+	}
+
+	if *noCache {
+		mcpat.SetArraySynthCache(false)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -118,6 +124,11 @@ func main() {
 			res.Best.TDP, res.Best.AreaMM2, res.Best.Perf/1e9)
 	} else {
 		fmt.Println("\nNo feasible design under the given budget.")
+	}
+	if *stats {
+		cs := res.Cache
+		fmt.Printf("\nSynthesis cache: %d hits, %d misses, %d shared, %d bypassed (%.1f%% hit rate, %d resident entries)\n",
+			cs.Hits, cs.Misses, cs.Shared, cs.Bypassed, 100*cs.HitRate(), cs.Entries)
 	}
 	if interrupted {
 		os.Exit(130)

@@ -176,12 +176,27 @@ func (cfg *Config) validate() (totalBits, wordBits int, err error) {
 }
 
 // New synthesizes the array described by cfg.
+//
+// Successful solves are memoized in a process-wide, concurrency-safe
+// cache keyed by the canonical form of cfg plus the technology node's
+// value fingerprint (see memo.go); repeated and concurrent solves of the
+// same structure share one synthesis. Cached results are bit-identical
+// to uncached ones. Stats/ResetCache/SetCacheEnabled control the cache.
 func New(cfg Config) (*Result, error) {
 	totalBits, wordBits, err := cfg.validate()
 	if err != nil {
 		return nil, err
 	}
+	if !CacheEnabled() {
+		memo.bypassed.Add(1)
+		return synthesize(cfg, totalBits, wordBits)
+	}
+	return cachedSynthesize(cfg, totalBits, wordBits)
+}
 
+// synthesize dispatches one real (uncached) synthesis of a validated
+// config.
+func synthesize(cfg Config, totalBits, wordBits int) (*Result, error) {
 	if cfg.FullyAssoc || cfg.CellKind == CAM {
 		return newCAM(cfg, totalBits, wordBits)
 	}
@@ -256,23 +271,86 @@ func objective(cfg *Config, r *Result) float64 {
 	}
 }
 
+// sramEnv holds every derived quantity of the SRAM evaluation that is
+// invariant across the (rows, column-mux, sub-word) enumeration: device
+// parameters, wire classes, cell geometry, FO4, and per-unit leakage
+// rates (whose temperature scaling costs an exp() each). Hoisting them
+// out of evalSRAM keeps the optimizer's inner loop free of repeated
+// device-table lookups and transcendental math.
+type sramEnv struct {
+	n       *tech.Node
+	per     circuit.Ctx
+	cellDev tech.Device
+
+	f, wmin      float64
+	cellW, cellH float64
+	localWire    tech.Wire
+	semiWire     tech.Wire
+	globalWire   tech.Wire
+	fo4          float64
+	vdd          float64
+
+	accessW float64 // access transistor width
+	vSwing  float64 // bitline read swing (V)
+	iCell   float64 // cell read current (A)
+	eSense1 float64 // sense-amp energy per sensed bit (J)
+
+	cellSubPerBit  float64 // subthreshold leakage per stored bit (W)
+	cellGatePerBit float64 // gate leakage per stored bit (W)
+	periphSubPerW  float64 // subthreshold leakage per meter of periphery width (W/m)
+	periphGatePerW float64 // gate leakage per meter of periphery width (W/m)
+}
+
+func newSRAMEnv(cfg *Config) *sramEnv {
+	n := cfg.Tech
+	e := &sramEnv{
+		n:       n,
+		per:     circuit.NewCtx(n, cfg.Periph, cfg.LongChannel),
+		cellDev: n.Device(cfg.Cell, false),
+	}
+	e.f = n.Feature
+	e.wmin = n.MinWidthN()
+	e.cellW, e.cellH = cellGeometry(n, SRAM, cfg.ports()-1)
+	e.localWire = n.Wire(tech.Aggressive, tech.Local)
+	e.semiWire = n.Wire(tech.Aggressive, tech.SemiGlobal)
+	e.globalWire = n.Wire(tech.Aggressive, tech.Global)
+	e.fo4 = e.per.FO4()
+	e.vdd = e.per.Vdd()
+	e.accessW = 1.3 * e.f
+	e.vSwing = 0.15 * e.vdd
+	e.iCell = 0.5 * e.cellDev.IonN * (2 * e.f)
+	e.eSense1 = e.per.FullSwingE(10 * e.wmin * e.per.Dev.CgPerW)
+	e.cellSubPerBit = e.cellDev.Ioff(n.SRAMCellNMOSWidth, n.SRAMCellPMOSWidth, n.Temperature) * e.cellDev.Vdd
+	e.cellGatePerBit = e.cellDev.Ig(n.SRAMCellNMOSWidth+n.SRAMCellPMOSWidth) * e.cellDev.Vdd
+	e.periphSubPerW = e.per.Dev.Ioff(1, 1, n.Temperature) * e.vdd
+	e.periphGatePerW = e.per.Dev.Ig(2) * e.vdd
+	return e
+}
+
 // optimize enumerates subarray organizations and returns the best feasible
 // one. If nothing meets the timing target, the fastest configuration is
 // returned with its (longer) actual cycle time, mirroring McPAT's warning
 // behavior rather than failing hard.
 func optimize(cfg Config, totalBits, wordBits int) (*Result, error) {
+	return optimizeEnv(newSRAMEnv(&cfg), cfg, totalBits, wordBits)
+}
+
+// optimizeEnv is optimize with a caller-provided invariant environment,
+// letting multi-array synthesis (data + tag of a cache) share one env.
+func optimizeEnv(env *sramEnv, cfg Config, totalBits, wordBits int) (*Result, error) {
 	var best *Result
 	var bestObj float64
 	var fastest *Result
+	subWords := subWordChoices(wordBits)
 
 	for rows := 16; rows <= 1024; rows *= 2 {
 		for colMux := 1; colMux <= 32; colMux *= 2 {
-			for _, subWord := range subWordChoices(wordBits) {
+			for _, subWord := range subWords {
 				cols := subWord * colMux
 				if cols < 16 || cols > 8192 {
 					continue
 				}
-				r, ok := evalSRAM(&cfg, totalBits, wordBits, rows, cols, colMux)
+				r, ok := evalSRAM(env, &cfg, totalBits, wordBits, rows, cols, colMux)
 				if !ok {
 					continue
 				}
@@ -319,11 +397,10 @@ func subWordChoices(wordBits int) []int {
 
 // evalSRAM computes PAT for one organization of a plain SRAM array.
 // cols = subWord*colMux columns per subarray; subWord bits leave each
-// active subarray per access.
-func evalSRAM(cfg *Config, totalBits, wordBits, rows, cols, colMux int) (Result, bool) {
-	n := cfg.Tech
-	per := circuit.NewCtx(n, cfg.Periph, cfg.LongChannel)
-	cellDev := n.Device(cfg.Cell, false)
+// active subarray per access. env carries the enumeration-invariant
+// derived parameters (see sramEnv).
+func evalSRAM(env *sramEnv, cfg *Config, totalBits, wordBits, rows, cols, colMux int) (Result, bool) {
+	per := &env.per
 
 	bankBits := (totalBits + cfg.Banks - 1) / cfg.Banks
 	bitsPerSub := rows * cols
@@ -342,17 +419,14 @@ func evalSRAM(cfg *Config, totalBits, wordBits, rows, cols, colMux int) (Result,
 		return Result{}, false
 	}
 
-	ports := cfg.ports()
-	cellW, cellH := cellGeometry(n, SRAM, ports-1)
-	localWire := n.Wire(tech.Aggressive, tech.Local)
-	semiWire := n.Wire(tech.Aggressive, tech.SemiGlobal)
+	cellW, cellH := env.cellW, env.cellH
+	localWire := env.localWire
 
-	f := n.Feature
-	wmin := n.MinWidthN()
+	f := env.f
+	wmin := env.wmin
 
 	// --- Wordline ---------------------------------------------------
-	accessW := 1.3 * f // access transistor width
-	cWL := float64(cols)*(2*accessW*per.Dev.CgPerW) + float64(cols)*cellW*localWire.CapPerM
+	cWL := float64(cols)*(2*env.accessW*per.Dev.CgPerW) + float64(cols)*cellW*localWire.CapPerM
 	wlChain := per.BufferChain(cWL)
 	// Distributed RC of the wordline itself: 0.69 * R_total * C_total/2.
 	wlWireDelay := 0.69 * (localWire.ResPerM * float64(cols) * cellW) * cWL / 2
@@ -361,28 +435,25 @@ func evalSRAM(cfg *Config, totalBits, wordBits, rows, cols, colMux int) (Result,
 	// --- Decoder ----------------------------------------------------
 	addrBits := ceilLog2(rows)
 	// Predecode + final decode: ~2 + log4(rows) logic levels of FO4.
-	tDecode := (2 + float64(addrBits)/2) * per.FO4()
+	tDecode := (2 + float64(addrBits)/2) * env.fo4
 	// Energy: predecoders plus one fired row driver; approximated as a
 	// wire spanning the subarray height plus gate loads.
 	cDecode := float64(rows)*0.5*wmin*per.Dev.CgPerW + float64(rows)*cellH*localWire.CapPerM*0.5
 	eDecode := per.SwitchE(cDecode) + wlChain.Energy
 
 	// --- Bitline ----------------------------------------------------
-	cBLcell := accessW * per.Dev.CjPerW // drain of one access device
+	cBLcell := env.accessW * per.Dev.CjPerW // drain of one access device
 	cBL := float64(rows)*cBLcell + float64(rows)*cellH*localWire.CapPerM
-	vSwing := 0.15 * per.Vdd()
-	iCell := 0.5 * cellDev.IonN * (2 * f) // read current of pull-down path
-	tBitline := cBL * vSwing / math.Max(iCell, 1e-12)
+	tBitline := cBL * env.vSwing / math.Max(env.iCell, 1e-12)
 	// Read energy: all columns of active subarrays swing by vSwing.
-	eBitlineRead := float64(cols) * cBL * per.Vdd() * vSwing
+	eBitlineRead := float64(cols) * cBL * env.vdd * env.vSwing
 	// Write: full differential swing on written columns only.
-	eBitlineWrite := float64(subWord) * cBL * per.Vdd() * per.Vdd() * 2 * 0.5
+	eBitlineWrite := float64(subWord) * cBL * env.vdd * env.vdd * 2 * 0.5
 
 	// --- Sense amps + column mux -------------------------------------
-	tSense := 2 * per.FO4()
-	cSA := 10 * wmin * per.Dev.CgPerW
-	eSense := float64(subWord) * per.FullSwingE(cSA)
-	tMux := float64(ceilLog2(colMux)) * 0.5 * per.FO4()
+	tSense := 2 * env.fo4
+	eSense := float64(subWord) * env.eSense1
+	tMux := float64(ceilLog2(colMux)) * 0.5 * env.fo4
 
 	// --- Subarray and bank geometry ----------------------------------
 	subW := float64(cols)*cellW + 40*f + float64(addrBits)*8*f // row decoder strip
@@ -399,7 +470,7 @@ func evalSRAM(cfg *Config, totalBits, wordBits, rows, cols, colMux int) (Result,
 
 	// --- H-tree within the bank --------------------------------------
 	htreeLen := 0.5 * (bankW + bankH)
-	htreeIn := per.RepeatedWire(semiWire, htreeLen)
+	htreeIn := per.RepeatedWire(env.semiWire, htreeLen)
 	addrInBits := float64(ceilLog2(maxInt(2, bankBits/wordBits)))
 	eHtree := (float64(wordBits) + addrInBits) * htreeIn.EnergyPerBit
 	tHtree := htreeIn.Delay
@@ -409,7 +480,7 @@ func evalSRAM(cfg *Config, totalBits, wordBits, rows, cols, colMux int) (Result,
 	var bankRouteLeakSub, bankRouteLeakGate, bankRouteArea float64
 	if cfg.Banks > 1 {
 		chipSide := math.Sqrt(bankArea * float64(cfg.Banks))
-		route := per.RepeatedWire(n.Wire(tech.Aggressive, tech.Global), 0.5*chipSide)
+		route := per.RepeatedWire(env.globalWire, 0.5*chipSide)
 		eBankRoute = (float64(wordBits) + addrInBits) * route.EnergyPerBit
 		tBankRoute = route.Delay
 		bankRouteLeakSub = route.SubLeak * (float64(wordBits) + addrInBits)
@@ -420,7 +491,7 @@ func evalSRAM(cfg *Config, totalBits, wordBits, rows, cols, colMux int) (Result,
 	access := tHtree + tDecode + tWordline + tBitline + tSense + tMux + tHtree + tBankRoute
 	// Cycle limited by decode+read+precharge of one subarray.
 	cycle := tDecode + tWordline + tBitline + tSense + tBitline*0.8
-	if mn := 6 * per.FO4(); cycle < mn {
+	if mn := 6 * env.fo4; cycle < mn {
 		cycle = mn
 	}
 
@@ -431,14 +502,14 @@ func evalSRAM(cfg *Config, totalBits, wordBits, rows, cols, colMux int) (Result,
 
 	// --- Leakage -------------------------------------------------------
 	allBits := float64(cfg.Banks) * float64(subarrays) * float64(bitsPerSub)
-	cellLeakSub := cellDev.Ioff(n.SRAMCellNMOSWidth, n.SRAMCellPMOSWidth, n.Temperature) * cellDev.Vdd * allBits
-	cellLeakGate := cellDev.Ig(n.SRAMCellNMOSWidth+n.SRAMCellPMOSWidth) * cellDev.Vdd * allBits
+	cellLeakSub := env.cellSubPerBit * allBits
+	cellLeakGate := env.cellGatePerBit * allBits
 	// Periphery: one wordline driver per row, sense amps and write
 	// drivers per column, decoders.
 	periphW := float64(rows)*4*wmin + float64(cols)*8*wmin + float64(addrBits)*20*wmin
 	periphW *= float64(subarrays * cfg.Banks)
-	periphLeakSub := per.Dev.Ioff(periphW, periphW, n.Temperature) * per.Vdd()
-	periphLeakGate := per.Dev.Ig(2*periphW) * per.Vdd()
+	periphLeakSub := env.periphSubPerW * periphW
+	periphLeakGate := env.periphGatePerW * periphW
 
 	totalArea := bankArea*float64(cfg.Banks) + bankRouteArea
 

@@ -37,6 +37,11 @@ func newCache(cfg Config, totalBits, wordBits int) (*Result, error) {
 		parallel = !*cfg.Sequential
 	}
 
+	// The enumeration-invariant environment depends only on the node,
+	// device classes, and port count, all shared by the data and tag
+	// arrays - build it once for both optimizer runs.
+	env := newSRAMEnv(&cfg)
+
 	// --- Data array ---------------------------------------------------
 	dataCfg := cfg
 	dataCfg.Assoc = 0
@@ -46,7 +51,7 @@ func newCache(cfg Config, totalBits, wordBits int) (*Result, error) {
 		dataWord = wordBits * cfg.Assoc
 	}
 	dataCfg.BlockBits = dataWord
-	data, err := optimize(dataCfg, totalBits, dataWord)
+	data, err := optimizeEnv(env, dataCfg, totalBits, dataWord)
 	if err != nil {
 		return nil, err
 	}
@@ -71,7 +76,7 @@ func newCache(cfg Config, totalBits, wordBits int) (*Result, error) {
 	tagCfg.Entries = sets
 	tagCfg.EntryBits = tagBits * cfg.Assoc // all ways checked together
 	tagCfg.BlockBits = tagBits * cfg.Assoc
-	tag, err := optimize(tagCfg, sets*tagBits*cfg.Assoc, tagBits*cfg.Assoc)
+	tag, err := optimizeEnv(env, tagCfg, sets*tagBits*cfg.Assoc, tagBits*cfg.Assoc)
 	if err != nil {
 		return nil, err
 	}

@@ -219,8 +219,9 @@ func applyEDRAM(cfg *Config, res *Result, totalBits int) {
 	// Cell leakage: no subthreshold path through the storage cell, but
 	// refresh sweeps the whole array every retention interval. Refresh
 	// energy per bit ≈ one full bitline write at cell granularity.
-	cellSub := n.Device(cfg.Cell, false).Ioff(n.SRAMCellNMOSWidth, n.SRAMCellPMOSWidth, n.Temperature) *
-		n.Device(cfg.Cell, false).Vdd * float64(totalBits)
+	cellDev := n.Device(cfg.Cell, false)
+	cellSub := cellDev.Ioff(n.SRAMCellNMOSWidth, n.SRAMCellPMOSWidth, n.Temperature) *
+		cellDev.Vdd * float64(totalBits)
 	res.Static.Sub -= cellSub * 0.9 // storage cells stop leaking
 	if res.Static.Sub < 0 {
 		res.Static.Sub = 0

@@ -161,7 +161,7 @@ func New(cfg Config) (*Cache, error) {
 // Report builds the cache's report subtree for the given access rates
 // (reads and writes per second at peak and runtime).
 func (c *Cache) Report(peakR, peakW, runR, runW float64) *power.Item {
-	item := power.NewItem(c.cfg.Name)
+	item := power.NewItemN(c.cfg.Name, 4)
 	item.Add(power.FromPAT("data", c.Data.PAT,
 		power.Activity{Reads: peakR, Writes: peakW},
 		power.Activity{Reads: runR, Writes: runW}))

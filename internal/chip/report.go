@@ -57,11 +57,11 @@ func (p *Processor) buildReport(stats *Stats) *power.Item {
 		stats = &Stats{}
 	}
 
-	item := power.NewItem(cfg.Name)
+	item := power.NewItemN(cfg.Name, 10)
 
 	// ---- Cores ---------------------------------------------------------
 	coreRep := p.CoreModel.Report(p.corePeak, stats.CoreRun)
-	cores := power.NewItem("Cores")
+	cores := power.NewItemN("Cores", 1)
 	cores.Add(coreRep)
 	cores.Rollup()
 	cores.Scale(float64(cfg.NumCores))
@@ -104,7 +104,7 @@ func (p *Processor) buildReport(stats *Stats) *power.Item {
 		if cfg.MC.PeakBandwidth > 0 {
 			peakTxn = cfg.MCPeakUtil * cfg.MC.PeakBandwidth / 64
 		}
-		mcRep := power.NewItem("MemoryController")
+		mcRep := power.NewItemN("MemoryController", 3)
 		mcRep.Add(
 			power.FromPAT("frontend", p.mcCtl.FrontEnd,
 				power.Activity{Reads: peakTxn * 0.6, Writes: peakTxn * 0.4},
@@ -173,7 +173,7 @@ func (p *Processor) interconnectReport(stats *Stats) *power.Item {
 		nr := float64(cfg.NoC.MeshX * cfg.NoC.MeshY)
 		nl := float64(linkCount(cfg.NoC.MeshX, cfg.NoC.MeshY))
 		const peakDuty = 0.4 // flits per router per cycle at TDP
-		ic := power.NewItem("NoC")
+		ic := power.NewItemN("NoC", 3)
 		routers := power.FromPAT("routers", p.router.PAT,
 			power.Activity{Reads: peakDuty * hz},
 			power.Activity{Reads: stats.NoCFlits})
@@ -196,7 +196,7 @@ func (p *Processor) interconnectReport(stats *Stats) *power.Item {
 		// Every flit traverses ~stations/4 hops on average, so per-router
 		// forwarding duty runs high at TDP.
 		const peakDuty = 0.5
-		ic := power.NewItem("Ring")
+		ic := power.NewItemN("Ring", 2)
 		routers := power.FromPAT("routers", p.router.PAT,
 			power.Activity{Reads: peakDuty * hz},
 			power.Activity{Reads: stats.NoCFlits})
@@ -209,14 +209,14 @@ func (p *Processor) interconnectReport(stats *Stats) *power.Item {
 		return ic
 	case Bus:
 		const peakDuty = 0.8
-		ic := power.NewItem("Bus")
+		ic := power.NewItemN("Bus", 1)
 		ic.Add(power.FromPAT("bus", p.link.PAT,
 			power.Activity{Reads: peakDuty * hz},
 			power.Activity{Reads: stats.NoCFlits}))
 		return ic
 	case Crossbar:
 		peakDuty := 0.5 * float64(cfg.NumCores) // port pairs busy at TDP
-		ic := power.NewItem("Crossbar")
+		ic := power.NewItemN("Crossbar", 1)
 		ic.Add(power.FromPAT("crossbar", p.link.PAT,
 			power.Activity{Reads: peakDuty * hz},
 			power.Activity{Reads: stats.NoCFlits}))

@@ -125,10 +125,10 @@ func (c *Core) Report(peak, run Activity) *power.Item {
 	cfg := &c.Cfg
 	hz := cfg.ClockHz
 
-	item := power.NewItem(cfg.Name)
+	item := power.NewItemN(cfg.Name, 6)
 
 	// ------------- IFU -------------------------------------------------
-	ifu := power.NewItem("IFU")
+	ifu := power.NewItemN("IFU", 6)
 	ifu.Add(c.leaf("icache", c.icache.PAT,
 		rw(peak.ICacheAccess*hz, peak.CacheMiss*hz*0.3, 0),
 		rw(run.ICacheAccess*hz, run.CacheMiss*hz*0.3, 0)))
@@ -140,7 +140,7 @@ func (c *Core) Report(peak, run Activity) *power.Item {
 			rw(peak.BTBAccess*hz, peak.BTBAccess*hz*0.1, 0),
 			rw(run.BTBAccess*hz, run.BTBAccess*hz*0.1, 0)))
 	}
-	pred := power.NewItem("predictor")
+	pred := power.NewItemN("predictor", 4)
 	if c.localPred != nil {
 		pred.Add(c.leaf("local", c.localPred.PAT,
 			rw(peak.PredAccess*hz, peak.PredAccess*hz, 0),
@@ -173,7 +173,7 @@ func (c *Core) Report(peak, run Activity) *power.Item {
 
 	// ------------- RNU -------------------------------------------------
 	if cfg.OoO {
-		rnu := power.NewItem("RenameUnit")
+		rnu := power.NewItemN("RenameUnit", 4)
 		if cfg.RenameCAM {
 			rnu.Add(c.leaf("rat.int", c.intRAT.PAT,
 				rw(0, peak.Rename*hz, 2*peak.Rename*hz),
@@ -197,7 +197,7 @@ func (c *Core) Report(peak, run Activity) *power.Item {
 			rw(run.Rename*hz/float64(maxInt(cfg.DecodeWidth, 1)), 0, 0)))
 		item.Add(rnu)
 
-		sched := power.NewItem("Scheduler")
+		sched := power.NewItemN("Scheduler", 4)
 		sched.Add(c.leaf("iq.int", c.intIQ.PAT,
 			rw(peak.IQIssue*hz, peak.IQWrite*hz, peak.IQWakeup*hz),
 			rw(run.IQIssue*hz, run.IQWrite*hz, run.IQWakeup*hz)))
@@ -211,7 +211,7 @@ func (c *Core) Report(peak, run Activity) *power.Item {
 			rw(peak.IQIssue*hz, 0, 0), rw(run.IQIssue*hz, 0, 0)))
 		item.Add(sched)
 	} else {
-		sched := power.NewItem("InstQueue")
+		sched := power.NewItemN("InstQueue", 1)
 		sched.Add(c.leaf("instq", c.intIQ.PAT,
 			rw(peak.Decode*hz, peak.Decode*hz, 0),
 			rw(run.Decode*hz, run.Decode*hz, 0)))
@@ -219,7 +219,7 @@ func (c *Core) Report(peak, run Activity) *power.Item {
 	}
 
 	// ------------- EXU -------------------------------------------------
-	exu := power.NewItem("EXU")
+	exu := power.NewItemN("EXU", 8)
 	exu.Add(c.leaf("rf.int", c.intRF.PAT,
 		rw(peak.RFRead*hz, peak.RFWrite*hz, 0),
 		rw(run.RFRead*hz, run.RFWrite*hz, 0)))
@@ -277,7 +277,7 @@ func (c *Core) Report(peak, run Activity) *power.Item {
 	item.Add(exu)
 
 	// ------------- LSU -------------------------------------------------
-	lsu := power.NewItem("LSU")
+	lsu := power.NewItemN("LSU", 3)
 	lsu.Add(c.leaf("dcache", c.dcache.PAT,
 		rw(peak.DCacheRead*hz, peak.DCacheWrite*hz, 0),
 		rw(run.DCacheRead*hz, run.DCacheWrite*hz, 0)))
@@ -290,7 +290,7 @@ func (c *Core) Report(peak, run Activity) *power.Item {
 	item.Add(lsu)
 
 	// ------------- MMU -------------------------------------------------
-	mmu := power.NewItem("MMU")
+	mmu := power.NewItemN("MMU", 2)
 	mmu.Add(c.leaf("itlb", c.itlb.PAT,
 		rw(0, peak.CacheMiss*hz*0.01, peak.ITLBAccess*hz),
 		rw(0, run.CacheMiss*hz*0.01, run.ITLBAccess*hz)))

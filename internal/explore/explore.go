@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"mcpat/internal/array"
 	"mcpat/internal/cache"
 	"mcpat/internal/chip"
 	"mcpat/internal/core"
@@ -130,6 +131,13 @@ type Result struct {
 	Evaluated  int         // points whose evaluation ran (including failures)
 	Feasible   int
 	Failures   []Failure // hard per-candidate failures, in enumeration order
+
+	// Cache reports the array-synthesis cache activity attributable to
+	// this sweep (counter deltas over the sweep; Entries is the resident
+	// total afterwards). Parallel workers re-solving a structure another
+	// candidate already solved hit this cache instead of recomputing,
+	// which is what makes wide sweeps cheap.
+	Cache array.CacheStats
 }
 
 // Options tunes the parallel engine. The zero value (or nil) selects the
@@ -301,6 +309,7 @@ func SearchContext(ctx context.Context, p Params, space Space, cons Constraints,
 	o := opts.defaults()
 
 	specs := enumerate(space)
+	cacheBefore := array.Stats()
 
 	type outcome struct {
 		cand Candidate
@@ -362,7 +371,7 @@ feed:
 	close(jobs)
 	wg.Wait()
 
-	res := &Result{}
+	res := &Result{Cache: array.Stats().Delta(cacheBefore)}
 	for i := range outs {
 		if !outs[i].ran {
 			continue

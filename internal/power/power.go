@@ -90,6 +90,13 @@ type Item struct {
 // NewItem returns a named, empty report node.
 func NewItem(name string) *Item { return &Item{Name: name} }
 
+// NewItemN returns a named report node with capacity preallocated for n
+// children, so report builders that know their fan-out avoid the
+// append-regrowth garbage in hot evaluation loops.
+func NewItemN(name string, n int) *Item {
+	return &Item{Name: name, Children: make([]*Item, 0, n)}
+}
+
 // Add appends children and returns the receiver for chaining.
 func (it *Item) Add(children ...*Item) *Item {
 	for _, c := range children {

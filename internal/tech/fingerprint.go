@@ -1,0 +1,72 @@
+package tech
+
+import "math"
+
+// Fingerprint returns a 64-bit hash over every model-relevant parameter
+// of the node: feature size, junction temperature, cell geometries, all
+// three device classes, and all wire classes under both projections. Two
+// nodes with equal fingerprints are interchangeable as far as the circuit
+// and array models are concerned, which is what makes the fingerprint a
+// sound cache-key component for memoized synthesis (see internal/array).
+//
+// The fingerprint deliberately excludes Name (presentation only) and is
+// recomputed from current field values on every call, so in-place
+// mutations (OverrideVdd, Temperature overrides, test poisoning) always
+// change the identity a subsequent synthesis sees.
+func (n *Node) Fingerprint() uint64 {
+	h := uint64(fnvOffset)
+	h = hashF(h, n.Feature)
+	h = hashF(h, n.Temperature)
+	h = hashF(h, n.SRAMCellArea)
+	h = hashF(h, n.CAMCellArea)
+	h = hashF(h, n.DFFCellArea)
+	h = hashF(h, n.SRAMCellAspect)
+	h = hashF(h, n.SRAMCellNMOSWidth)
+	h = hashF(h, n.SRAMCellPMOSWidth)
+	for i := range n.devices {
+		d := &n.devices[i]
+		h = hashF(h, d.Vdd)
+		h = hashF(h, d.Vth)
+		h = hashF(h, d.IonN)
+		h = hashF(h, d.IonP)
+		h = hashF(h, d.IoffN)
+		h = hashF(h, d.IoffP)
+		h = hashF(h, d.IgN)
+		h = hashF(h, d.CgPerW)
+		h = hashF(h, d.CjPerW)
+		h = hashF(h, d.Leff)
+		if d.LongChannel {
+			h = hashU(h, 1)
+		} else {
+			h = hashU(h, 0)
+		}
+	}
+	for p := range n.wires {
+		for w := range n.wires[p] {
+			wire := &n.wires[p][w]
+			h = hashF(h, wire.ResPerM)
+			h = hashF(h, wire.CapPerM)
+			h = hashF(h, wire.Pitch)
+		}
+	}
+	return h
+}
+
+// FNV-1a over the IEEE-754 bit patterns. Bit patterns (not values) keep
+// the hash total: NaNs and signed zeros poisoned into test nodes still
+// produce a deterministic, distinguishing identity.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func hashF(h uint64, v float64) uint64 { return hashU(h, math.Float64bits(v)) }
+
+func hashU(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}

@@ -42,6 +42,7 @@ import (
 	"io"
 	"os"
 
+	"mcpat/internal/array"
 	"mcpat/internal/cache"
 	"mcpat/internal/chip"
 	"mcpat/internal/config"
@@ -423,6 +424,33 @@ type VFPoint = chip.VFPoint
 func VFScan(cfg Config, scales []float64) ([]VFPoint, error) {
 	return chip.VFScan(cfg, scales)
 }
+
+// ArrayCacheStats is a snapshot of the array-synthesis cache counters:
+// hits, misses, single-flight shared solves, bypassed (uncached) solves,
+// and resident entries. See ArraySynthCacheStats.
+type ArrayCacheStats = array.CacheStats
+
+// ArraySynthCacheStats returns the current counters of the process-wide
+// circuit-synthesis result cache. Every storage structure on a chip
+// (caches, register files, queues, TLBs, buffers) is solved by an
+// internal optimizer that enumerates subarray organizations; the cache
+// memoizes those solves by a canonical configuration key plus the
+// technology node's value fingerprint, so repeated evaluation - a DSE
+// sweep, a DVFS scan, a thermal fixed-point iteration - reuses earlier
+// work. Cached results are bit-identical to uncached ones; concurrent
+// solves of the same structure share a single computation.
+func ArraySynthCacheStats() ArrayCacheStats { return array.Stats() }
+
+// ResetArraySynthCache drops every cached synthesis result and zeroes
+// the counters, forcing subsequent evaluations to start cold (useful for
+// benchmarking and for bounding memory across unrelated long runs).
+func ResetArraySynthCache() { array.ResetCache() }
+
+// SetArraySynthCache enables or disables synthesis-result caching (it is
+// enabled by default) and returns the previous setting. Disabling does
+// not drop resident entries; pair with ResetArraySynthCache for a fully
+// cold, cache-free run.
+func SetArraySynthCache(enabled bool) bool { return array.SetCacheEnabled(enabled) }
 
 // NewCache synthesizes a standalone shared cache at the given node,
 // device class, and target clock - direct access to the memory-array
