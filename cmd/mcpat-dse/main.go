@@ -17,6 +17,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -26,6 +27,7 @@ import (
 	"strings"
 
 	"mcpat"
+	"mcpat/internal/cliutil"
 )
 
 func main() {
@@ -45,6 +47,7 @@ func main() {
 		keepGoing = flag.Bool("keep-going", true, "continue the sweep past failed candidates")
 		stats     = flag.Bool("stats", false, "print synthesis-cache statistics for the sweep")
 		noCache   = flag.Bool("no-cache", false, "disable the synthesis result cache")
+		asJSON    = flag.Bool("json", false, "emit the sweep as JSON (candidates, failures, cache stats) - the same schema the mcpatd service returns")
 	)
 	flag.Parse()
 
@@ -57,8 +60,7 @@ func main() {
 	case "ed2ap":
 		obj = mcpat.MinED2AP
 	default:
-		fmt.Fprintf(os.Stderr, "mcpat-dse: unknown objective %q\n", *objName)
-		os.Exit(2)
+		cliutil.Usagef("mcpat-dse", "unknown objective %q", *objName)
 	}
 
 	if *noCache {
@@ -85,13 +87,23 @@ func main() {
 	)
 	interrupted := errors.Is(err, context.Canceled)
 	if err != nil && !interrupted {
-		fmt.Fprintln(os.Stderr, "mcpat-dse:", err)
+		fmt.Fprintln(os.Stderr, "mcpat-dse:", cliutil.FirstLine(err.Error()))
 		if res == nil {
-			os.Exit(1)
+			os.Exit(cliutil.ExitCode(err))
 		}
 	}
 	if interrupted {
 		fmt.Fprintln(os.Stderr, "mcpat-dse: interrupted; showing partial results")
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if encErr := enc.Encode(mcpat.NewDSEReport(res, obj)); encErr != nil {
+			fmt.Fprintln(os.Stderr, "mcpat-dse:", encErr)
+			os.Exit(cliutil.ExitInternal)
+		}
+		exit(interrupted, err)
 	}
 
 	fmt.Printf("Explored %d design points (%d feasible) at %gnm under %s\n\n",
@@ -130,12 +142,17 @@ func main() {
 		fmt.Printf("\nSynthesis cache: %d hits, %d misses, %d shared, %d bypassed (%.1f%% hit rate, %d resident entries)\n",
 			cs.Hits, cs.Misses, cs.Shared, cs.Bypassed, 100*cs.HitRate(), cs.Entries)
 	}
+	exit(interrupted, err)
+}
+
+// exit applies the shared CLI convention: 130 for an interrupt (shell
+// style), otherwise the guard-kind mapping (2=config, 3=infeasible/
+// model-domain, 1=internal, 0=success).
+func exit(interrupted bool, err error) {
 	if interrupted {
 		os.Exit(130)
 	}
-	if err != nil {
-		os.Exit(1)
-	}
+	os.Exit(cliutil.ExitCode(err))
 }
 
 func ints(csv string) []int {
@@ -147,8 +164,7 @@ func ints(csv string) []int {
 		}
 		v, err := strconv.Atoi(part)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mcpat-dse: bad integer %q\n", part)
-			os.Exit(2)
+			cliutil.Usagef("mcpat-dse", "bad integer %q", part)
 		}
 		out = append(out, v)
 	}

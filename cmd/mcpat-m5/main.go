@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"mcpat"
+	"mcpat/internal/cliutil"
 )
 
 func main() {
@@ -26,9 +27,8 @@ func main() {
 	)
 	flag.Parse()
 	if *infile == "" || *statsFile == "" {
-		fmt.Fprintln(os.Stderr, "mcpat-m5: -infile and -stats are required")
 		flag.Usage()
-		os.Exit(2)
+		cliutil.Usagef("mcpat-m5", "-infile and -stats are required")
 	}
 
 	cfg, _, err := mcpat.LoadXMLFile(*infile)
@@ -69,7 +69,8 @@ func main() {
 	fmt.Print(rep.Format(*printLevel))
 }
 
+// fatal maps guard error kinds to the shared CLI exit codes (2=config,
+// 3=infeasible/model-domain, 1=internal).
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mcpat-m5:", err)
-	os.Exit(1)
+	cliutil.Fatal("mcpat-m5", err)
 }

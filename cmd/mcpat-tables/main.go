@@ -21,9 +21,9 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"os"
 
+	"mcpat/internal/cliutil"
 	"mcpat/internal/tables"
 )
 
@@ -45,10 +45,11 @@ func main() {
 		err = tables.Figure(os.Stdout, *fig)
 	default:
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(cliutil.ExitConfig)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mcpat-tables:", err)
-		os.Exit(1)
+		// Shared CLI convention: 2=config, 3=infeasible/model-domain,
+		// 1=internal.
+		cliutil.Fatal("mcpat-tables", err)
 	}
 }

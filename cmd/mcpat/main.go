@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"mcpat"
+	"mcpat/internal/cliutil"
 )
 
 func main() {
@@ -47,9 +48,8 @@ func main() {
 		return
 	}
 	if *infile == "" {
-		fmt.Fprintln(os.Stderr, "mcpat: -infile or -template required")
 		flag.Usage()
-		os.Exit(2)
+		cliutil.Usagef("mcpat", "-infile or -template required")
 	}
 
 	cfg, stats, err := mcpat.LoadXMLFile(*infile)
@@ -106,7 +106,9 @@ func writeTemplate(name string) error {
 	return fmt.Errorf("mcpat: unknown template %q (see -list-templates)", name)
 }
 
+// fatal maps guard error kinds to the shared CLI exit codes (2=config,
+// 3=infeasible/model-domain, 1=internal) and prints the component path
+// the error carries.
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mcpat:", err)
-	os.Exit(1)
+	cliutil.Fatal("mcpat", err)
 }

@@ -1,0 +1,39 @@
+package cliutil
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"mcpat/internal/guard"
+)
+
+func TestExitCodeMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, ExitOK},
+		{guard.Configf("chip", "bad core count"), ExitConfig},
+		{guard.Infeasiblef("L2", "no organization meets clock"), ExitInfeasible},
+		{guard.Domainf("chip", "negative power"), ExitInfeasible},
+		{guard.Internalf("core[0]", "recovered panic"), ExitInternal},
+		{errors.New("plain I/O error"), ExitInternal},
+		// Wrapping must not change the classification.
+		{fmt.Errorf("outer: %w", guard.Configf("chip", "bad")), ExitConfig},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+func TestFirstLine(t *testing.T) {
+	if got := FirstLine("head\ntail"); got != "head" {
+		t.Errorf("FirstLine = %q", got)
+	}
+	if got := FirstLine("single"); got != "single" {
+		t.Errorf("FirstLine = %q", got)
+	}
+}

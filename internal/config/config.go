@@ -13,6 +13,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"mcpat/internal/guard"
 )
 
 // Component is one node of the XML configuration tree.
@@ -36,10 +38,10 @@ func Parse(r io.Reader) (*Component, error) {
 	var root Component
 	dec := xml.NewDecoder(r)
 	if err := dec.Decode(&root); err != nil {
-		return nil, fmt.Errorf("config: %w", err)
+		return nil, guard.Wrap(guard.ErrConfig, "config", err)
 	}
 	if root.ID == "" {
-		return nil, fmt.Errorf("config: root component has no id")
+		return nil, guard.Configf("config", "root component has no id")
 	}
 	return &root, nil
 }

@@ -1,12 +1,12 @@
 package config
 
 import (
-	"fmt"
 	"strconv"
 
 	"mcpat/internal/cache"
 	"mcpat/internal/chip"
 	"mcpat/internal/core"
+	"mcpat/internal/guard"
 	"mcpat/internal/mc"
 	"mcpat/internal/tech"
 )
@@ -40,16 +40,16 @@ import (
 func ToChipConfig(root *Component) (chip.Config, error) {
 	var cfg chip.Config
 	if root == nil {
-		return cfg, fmt.Errorf("config: nil root")
+		return cfg, guard.Configf("config", "nil root")
 	}
 	cfg.Name = root.ParamString("name", root.ID)
 	cfg.NM = root.ParamFloat("tech_node_nm", 0)
 	if cfg.NM == 0 {
-		return cfg, fmt.Errorf("config: tech_node_nm is required")
+		return cfg, guard.Configf("config", "tech_node_nm is required")
 	}
 	cfg.ClockHz = root.ParamFloat("clock_mhz", 0) * 1e6
 	if cfg.ClockHz == 0 {
-		return cfg, fmt.Errorf("config: clock_mhz is required")
+		return cfg, guard.Configf("config", "clock_mhz is required")
 	}
 	cfg.Vdd = root.ParamFloat("vdd", 0)
 	cfg.Temperature = root.ParamFloat("temperature_k", 0)
@@ -83,7 +83,7 @@ func ToChipConfig(root *Component) (chip.Config, error) {
 	case "ring":
 		cfg.NoC.Kind = chip.Ring
 	default:
-		return cfg, fmt.Errorf("config: unknown interconnect %q", root.ParamString("interconnect", ""))
+		return cfg, guard.Configf("config", "unknown interconnect %q", root.ParamString("interconnect", ""))
 	}
 	cfg.NoC.FlitBits = root.ParamInt("flit_bits", 128)
 	cfg.NoC.MeshX = root.ParamInt("mesh_x", 0)
@@ -131,7 +131,7 @@ func parseDevice(s string) (tech.DeviceType, error) {
 	case "LOP", "lop":
 		return tech.LOP, nil
 	}
-	return tech.HP, fmt.Errorf("config: unknown device_type %q", s)
+	return tech.HP, guard.Configf("config", "unknown device_type %q", s)
 }
 
 func toCoreConfig(c *Component) core.Config {

@@ -18,8 +18,8 @@ import (
 // goroutine-safe.
 func withEvalHook(t *testing.T, hook func(c *Candidate)) {
 	t.Helper()
-	testEvalHook = hook
-	t.Cleanup(func() { testEvalHook = nil })
+	testEvalHook.Store(&hook)
+	t.Cleanup(func() { testEvalHook.Store(nil) })
 }
 
 func singlePoint() Space {

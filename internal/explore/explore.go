@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mcpat/internal/array"
@@ -156,6 +157,15 @@ type Options struct {
 	// degrading gracefully. The default (false) keeps going: failed
 	// candidates land in Result.Failures and the survivors are ranked.
 	FailFast bool
+
+	// OnProgress, when non-nil, is invoked after each candidate
+	// evaluation completes (successes, rejections, and failures alike).
+	// done is strictly increasing from 1 and never exceeds total, which
+	// is fixed at the size of the enumerated space; calls are serialized,
+	// so the callback needs no locking of its own. A cancelled sweep
+	// stops reporting before done reaches total. The callback runs on
+	// worker goroutines and must not block for long.
+	OnProgress func(done, total int)
 }
 
 func (o *Options) defaults() Options {
@@ -201,6 +211,15 @@ func (p *Params) defaults() error {
 		p.Workloads = perfsim.SPLASH2Like()
 	}
 	return nil
+}
+
+// Size returns the number of design points the space enumerates after
+// defaulting - the total a sweep over it will evaluate (and the total
+// Options.OnProgress reports).
+func (s Space) Size() int {
+	sp := s
+	sp.defaults()
+	return len(enumerate(sp))
 }
 
 // enumerate lists every design point of the space in deterministic
@@ -327,7 +346,19 @@ func SearchContext(ctx context.Context, p Params, space Space, cons Constraints,
 	var (
 		firstFailure error
 		failMu       sync.Mutex
+
+		progressMu   sync.Mutex
+		progressDone int
 	)
+	reportProgress := func() {
+		if o.OnProgress == nil {
+			return
+		}
+		progressMu.Lock()
+		progressDone++
+		o.OnProgress(progressDone, len(specs))
+		progressMu.Unlock()
+	}
 
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -349,6 +380,7 @@ func SearchContext(ctx context.Context, p Params, space Space, cons Constraints,
 				cand := specs[idx]
 				err := evalCandidate(ctx, o.CandidateTimeout, p, cons, obj, &cand)
 				outs[idx] = outcome{cand: cand, err: err, ran: true}
+				reportProgress()
 				if err != nil && o.FailFast {
 					failMu.Lock()
 					if firstFailure == nil {
@@ -439,18 +471,20 @@ func evalCandidate(ctx context.Context, timeout time.Duration, p Params, cons Co
 	}
 }
 
-// testEvalHook, when non-nil, runs at the start of every candidate
+// testEvalHook, when set, runs at the start of every candidate
 // evaluation inside the recovery boundary. Tests use it to poison or
-// stall specific candidates.
-var testEvalHook func(c *Candidate)
+// stall specific candidates. Atomic because abandoned (timed-out or
+// cancelled) evaluation goroutines may still start after a test has
+// swapped the hook out.
+var testEvalHook atomic.Pointer[func(c *Candidate)]
 
 // evaluate synthesizes and scores one design point. A nil return with
 // cand.Feasible == false means the point was legitimately rejected
 // (malformed combination or budget violation); a non-nil error is a hard
 // failure of the models themselves.
 func evaluate(p Params, cons Constraints, obj Objective, cand *Candidate) error {
-	if testEvalHook != nil {
-		testEvalHook(cand)
+	if hook := testEvalHook.Load(); hook != nil {
+		(*hook)(cand)
 	}
 	cfg, err := buildConfig(p, *cand)
 	if err != nil {

@@ -1,0 +1,110 @@
+package explore
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"mcpat/internal/chip"
+)
+
+// progressRecorder collects OnProgress calls and verifies the contract:
+// done strictly increases by 1 from 1, total is fixed at the space size.
+// The engine serializes callback invocations, so no locking is needed
+// here - the race detector would flag a violation of that guarantee.
+type progressRecorder struct {
+	dones  []int
+	totals []int
+}
+
+func (r *progressRecorder) cb(done, total int) {
+	r.dones = append(r.dones, done)
+	r.totals = append(r.totals, total)
+}
+
+func (r *progressRecorder) verify(t *testing.T, wantTotal int) {
+	t.Helper()
+	for i, d := range r.dones {
+		if d != i+1 {
+			t.Fatalf("progress not monotonic: call %d reported done=%d", i, d)
+		}
+	}
+	for _, tot := range r.totals {
+		if tot != wantTotal {
+			t.Fatalf("total must be fixed at %d, saw %d", wantTotal, tot)
+		}
+	}
+}
+
+func TestOnProgressCoversFullSweep(t *testing.T) {
+	space := Space{
+		Cores:        []int{8, 16, 32, 64},
+		Fabrics:      []chip.InterconnectKind{chip.Mesh},
+		ClusterSizes: []int{1, 2},
+	}
+	rec := &progressRecorder{}
+	res, err := SearchContext(context.Background(), quickParams(), space,
+		Constraints{}, MaxThroughput, &Options{Workers: 4, OnProgress: rec.cb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.verify(t, 8)
+	if len(rec.dones) != 8 {
+		t.Fatalf("want 8 progress calls for 8 candidates, got %d", len(rec.dones))
+	}
+	if res.Evaluated != len(rec.dones) {
+		t.Errorf("progress calls (%d) must match Evaluated (%d)", len(rec.dones), res.Evaluated)
+	}
+}
+
+func TestOnProgressUnderCancellation(t *testing.T) {
+	started := make(chan struct{}, 64)
+	release := make(chan struct{})
+	withEvalHook(t, func(c *Candidate) {
+		started <- struct{}{}
+		<-release
+	})
+	defer close(release)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rec := &progressRecorder{}
+	done := make(chan struct{})
+	var res *Result
+	var err error
+	go func() {
+		res, err = SearchContext(ctx, quickParams(), Space{
+			Cores:        []int{8, 16, 32, 64},
+			Fabrics:      []chip.InterconnectKind{chip.Mesh},
+			ClusterSizes: []int{1, 2},
+		}, Constraints{}, MaxThroughput, &Options{Workers: 2, OnProgress: rec.cb})
+		close(done)
+	}()
+
+	<-started
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled sweep did not return promptly")
+	}
+
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res == nil {
+		t.Fatal("partial result must accompany the cancellation error")
+	}
+	// The engine has returned; no more callbacks can arrive. Everything
+	// reported so far must satisfy the monotonicity contract, stop short
+	// of the full space, and agree with the partial result.
+	rec.verify(t, 8)
+	if len(rec.dones) >= 8 {
+		t.Errorf("cancellation should have cut progress short, saw %d calls", len(rec.dones))
+	}
+	if res.Evaluated != len(rec.dones) {
+		t.Errorf("progress calls (%d) must match Evaluated (%d) in the partial result",
+			len(rec.dones), res.Evaluated)
+	}
+}

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcpat/internal/array"
+)
+
+// latencyBucketsMS are the upper bounds (milliseconds) of the request
+// latency histogram; the implicit last bucket is +Inf.
+var latencyBucketsMS = []float64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// histogram is a fixed-bucket latency histogram.
+type histogram struct {
+	counts [13]uint64 // len(latencyBucketsMS) + 1 for +Inf
+	sumMS  float64
+	count  uint64
+}
+
+func (h *histogram) observe(ms float64) {
+	i := sort.SearchFloat64s(latencyBucketsMS, ms)
+	h.counts[i]++
+	h.sumMS += ms
+	h.count++
+}
+
+// metrics is the expvar-style instrumentation of the server: counters
+// keyed by route and status, an in-flight gauge, per-route latency
+// histograms, job lifecycle counters, and the synthesis-cache deltas
+// since the server started. Everything is monotonic except the gauges.
+type metrics struct {
+	start     time.Time
+	cacheBase array.CacheStats
+
+	inFlight atomic.Int64
+
+	jobsSubmitted atomic.Uint64
+	jobsDone      atomic.Uint64
+	jobsFailed    atomic.Uint64
+	jobsCanceled  atomic.Uint64
+	jobsRejected  atomic.Uint64 // submissions shed with 429
+
+	// queueDepth and jobsRunning are wired to the job store by the
+	// server; nil until then.
+	queueDepth  func() int
+	jobsRunning func() int
+
+	mu       sync.Mutex
+	requests map[string]map[string]uint64 // route -> status -> count
+	latency  map[string]*histogram        // route -> histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:     time.Now(),
+		cacheBase: array.Stats(),
+		requests:  make(map[string]map[string]uint64),
+		latency:   make(map[string]*histogram),
+	}
+}
+
+// observe records one completed request.
+func (m *metrics) observe(route, status string, dur time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byStatus := m.requests[route]
+	if byStatus == nil {
+		byStatus = make(map[string]uint64)
+		m.requests[route] = byStatus
+	}
+	byStatus[status]++
+	h := m.latency[route]
+	if h == nil {
+		h = &histogram{}
+		m.latency[route] = h
+	}
+	h.observe(float64(dur) / float64(time.Millisecond))
+}
+
+// LatencyJSON summarizes one route's latency histogram.
+type LatencyJSON struct {
+	Count uint64  `json:"count"`
+	SumMS float64 `json:"sum_ms"`
+	// Buckets holds cumulative counts per upper bound, Prometheus-style
+	// ("1ms", ..., "+Inf").
+	Buckets map[string]uint64 `json:"buckets"`
+}
+
+// JobMetricsJSON is the job subsystem section of the snapshot.
+type JobMetricsJSON struct {
+	Submitted  uint64 `json:"submitted"`
+	Done       uint64 `json:"done"`
+	Failed     uint64 `json:"failed"`
+	Canceled   uint64 `json:"canceled"`
+	Rejected   uint64 `json:"rejected"`
+	Running    int    `json:"running"`
+	QueueDepth int    `json:"queue_depth"`
+}
+
+// MetricsSnapshot is the GET /metrics body.
+type MetricsSnapshot struct {
+	UptimeSec float64 `json:"uptime_sec"`
+	InFlight  int64   `json:"in_flight"`
+	// Requests counts completed requests by route and status code.
+	Requests map[string]map[string]uint64 `json:"requests"`
+	Latency  map[string]LatencyJSON       `json:"latency_ms"`
+	Jobs     JobMetricsJSON               `json:"jobs"`
+	// Cache reports the array-synthesis cache activity since the server
+	// started (Entries is the current resident total).
+	Cache CacheStatsJSON `json:"synth_cache"`
+}
+
+func bucketLabel(i int) string {
+	if i == len(latencyBucketsMS) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(latencyBucketsMS[i], 'f', -1, 64) + "ms"
+}
+
+// snapshot captures the current instrumentation state.
+func (m *metrics) snapshot() MetricsSnapshot {
+	snap := MetricsSnapshot{
+		UptimeSec: time.Since(m.start).Seconds(),
+		InFlight:  m.inFlight.Load(),
+		Requests:  make(map[string]map[string]uint64),
+		Latency:   make(map[string]LatencyJSON),
+		Jobs: JobMetricsJSON{
+			Submitted: m.jobsSubmitted.Load(),
+			Done:      m.jobsDone.Load(),
+			Failed:    m.jobsFailed.Load(),
+			Canceled:  m.jobsCanceled.Load(),
+			Rejected:  m.jobsRejected.Load(),
+		},
+		Cache: newCacheStatsJSON(array.Stats().Delta(m.cacheBase)),
+	}
+	if m.queueDepth != nil {
+		snap.Jobs.QueueDepth = m.queueDepth()
+	}
+	if m.jobsRunning != nil {
+		snap.Jobs.Running = m.jobsRunning()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for route, byStatus := range m.requests {
+		out := make(map[string]uint64, len(byStatus))
+		for status, n := range byStatus {
+			out[status] = n
+		}
+		snap.Requests[route] = out
+	}
+	for route, h := range m.latency {
+		lj := LatencyJSON{Count: h.count, SumMS: h.sumMS, Buckets: make(map[string]uint64)}
+		var cum uint64
+		for i := range h.counts {
+			cum += h.counts[i]
+			lj.Buckets[bucketLabel(i)] = cum
+		}
+		snap.Latency[route] = lj
+	}
+	return snap
+}

@@ -1,0 +1,286 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"mcpat/internal/array"
+	"mcpat/internal/chip"
+	"mcpat/internal/explore"
+	"mcpat/internal/power"
+)
+
+// EvaluateRequest is the JSON body of POST /v1/evaluate. Exactly one of
+// Preset or Config selects the chip; Stats optionally adds runtime
+// activity so the response carries runtime power next to TDP. Clients
+// that prefer the original tool's interface can instead POST a
+// McPAT-style XML document with an XML content type, which carries both
+// the configuration and the <stat> entries.
+type EvaluateRequest struct {
+	// Preset names a bundled chip template ("niagara", "arm-a9", ...).
+	Preset string `json:"preset,omitempty"`
+	// Config is the native chip description; ignored when Preset is set.
+	Config *chip.Config `json:"config,omitempty"`
+	// Stats is the optional runtime activity vector.
+	Stats *chip.Stats `json:"stats,omitempty"`
+}
+
+// EvaluateResponse is the 200 body of POST /v1/evaluate.
+type EvaluateResponse struct {
+	Name     string  `json:"name"`
+	NM       float64 `json:"nm"`
+	ClockHz  float64 `json:"clock_hz"`
+	TDPW     float64 `json:"tdp_w"`
+	AreaMM2  float64 `json:"area_mm2"`
+	RuntimeW float64 `json:"runtime_w,omitempty"`
+	// Report is the hierarchical power/area tree (see power.Item JSON).
+	Report *power.Item `json:"report"`
+}
+
+// APIError is the structured error detail inside every non-2xx body.
+type APIError struct {
+	// Kind classifies the failure: "config", "infeasible",
+	// "model_domain", "internal" (the guard taxonomy), or a transport
+	// kind ("bad_request", "not_found", "overloaded", "timeout",
+	// "draining", "canceled").
+	Kind string `json:"kind"`
+	// Path is the component path the guard error carried, e.g.
+	// "core[2].ifu.btb"; empty for transport errors.
+	Path string `json:"path,omitempty"`
+	// Message is the human-readable detail.
+	Message string `json:"message"`
+}
+
+func (e *APIError) Error() string {
+	if e.Path != "" {
+		return fmt.Sprintf("%s at %s: %s", e.Kind, e.Path, e.Message)
+	}
+	return fmt.Sprintf("%s: %s", e.Kind, e.Message)
+}
+
+// ErrorBody is the envelope of every non-2xx JSON response.
+type ErrorBody struct {
+	Error APIError `json:"error"`
+}
+
+// DSERequest is the JSON body of POST /v1/dse: the design space, fixed
+// parameters, budget, objective, and engine options of one sweep job.
+// Zero values select the same defaults as the library engine.
+type DSERequest struct {
+	// Fixed parameters (explore.Params).
+	NM      float64 `json:"nm,omitempty"`
+	ClockHz float64 `json:"clock_hz,omitempty"`
+	Threads int     `json:"threads,omitempty"`
+	MemBW   float64 `json:"mem_bw_bytes_per_s,omitempty"`
+
+	// Swept axes (explore.Space). Fabrics use the fabric names
+	// "none", "bus", "crossbar", "mesh", "ring".
+	Cores        []int    `json:"cores,omitempty"`
+	L2PerCoreKB  []int    `json:"l2_per_core_kb,omitempty"`
+	Fabrics      []string `json:"fabrics,omitempty"`
+	ClusterSizes []int    `json:"cluster_sizes,omitempty"`
+
+	// Budget (explore.Constraints); 0 = unconstrained.
+	MaxAreaMM2 float64 `json:"max_area_mm2,omitempty"`
+	MaxTDPW    float64 `json:"max_tdp_w,omitempty"`
+
+	// Objective: "throughput" (default), "perf/watt", or "ed2ap".
+	Objective string `json:"objective,omitempty"`
+
+	// Engine options (explore.Options).
+	Workers            int  `json:"workers,omitempty"`
+	CandidateTimeoutMS int  `json:"candidate_timeout_ms,omitempty"`
+	FailFast           bool `json:"fail_fast,omitempty"`
+}
+
+// ParseObjective maps an objective name to the engine constant. The
+// empty string selects MaxThroughput.
+func ParseObjective(name string) (explore.Objective, error) {
+	switch name {
+	case "", "throughput":
+		return explore.MaxThroughput, nil
+	case "perf/watt":
+		return explore.MaxPerfPerWatt, nil
+	case "ed2ap", "1/ED2AP":
+		return explore.MinED2AP, nil
+	}
+	return 0, fmt.Errorf("unknown objective %q (throughput|perf/watt|ed2ap)", name)
+}
+
+// ParseFabric maps a fabric name to the chip-level kind.
+func ParseFabric(name string) (chip.InterconnectKind, error) {
+	for _, k := range []chip.InterconnectKind{chip.NoneIC, chip.Bus, chip.Crossbar, chip.Mesh, chip.Ring} {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown fabric %q (none|bus|crossbar|mesh|ring)", name)
+}
+
+// explore converts the wire request into engine inputs, validating the
+// enumerated fields.
+func (r *DSERequest) explore() (explore.Params, explore.Space, explore.Constraints, explore.Objective, *explore.Options, error) {
+	p := explore.Params{NM: r.NM, ClockHz: r.ClockHz, Threads: r.Threads, MemBW: r.MemBW}
+	space := explore.Space{
+		Cores:        r.Cores,
+		L2PerCoreKB:  r.L2PerCoreKB,
+		ClusterSizes: r.ClusterSizes,
+	}
+	for _, name := range r.Fabrics {
+		k, err := ParseFabric(name)
+		if err != nil {
+			return p, space, explore.Constraints{}, 0, nil, err
+		}
+		space.Fabrics = append(space.Fabrics, k)
+	}
+	obj, err := ParseObjective(r.Objective)
+	if err != nil {
+		return p, space, explore.Constraints{}, 0, nil, err
+	}
+	cons := explore.Constraints{MaxAreaMM2: r.MaxAreaMM2, MaxTDP: r.MaxTDPW}
+	opts := &explore.Options{
+		Workers:          r.Workers,
+		CandidateTimeout: time.Duration(r.CandidateTimeoutMS) * time.Millisecond,
+		FailFast:         r.FailFast,
+	}
+	return p, space, cons, obj, opts, nil
+}
+
+// DSECandidate is the wire form of one evaluated design point - the
+// serialization both the service and mcpat-dse -json emit.
+type DSECandidate struct {
+	Cores       int    `json:"cores"`
+	L2PerCoreKB int    `json:"l2_per_core_kb"`
+	Fabric      string `json:"fabric"`
+	ClusterSize int    `json:"cluster_size"`
+
+	TDPW     float64 `json:"tdp_w"`
+	AreaMM2  float64 `json:"area_mm2"`
+	GIPS     float64 `json:"gips"`
+	RuntimeW float64 `json:"runtime_w"`
+
+	Feasible bool    `json:"feasible"`
+	Reject   string  `json:"reject,omitempty"`
+	Score    float64 `json:"score"`
+}
+
+func newDSECandidate(c explore.Candidate) DSECandidate {
+	return DSECandidate{
+		Cores:       c.Cores,
+		L2PerCoreKB: c.L2PerCoreKB,
+		Fabric:      c.Fabric.String(),
+		ClusterSize: c.ClusterSize,
+		TDPW:        c.TDP,
+		AreaMM2:     c.AreaMM2,
+		GIPS:        c.Perf / 1e9,
+		RuntimeW:    c.RunW,
+		Feasible:    c.Feasible,
+		Reject:      c.Reject,
+		Score:       c.Score,
+	}
+}
+
+// DSEFailureJSON is the wire form of one hard per-candidate failure.
+type DSEFailureJSON struct {
+	Candidate DSECandidate `json:"candidate"`
+	Error     APIError     `json:"error"`
+}
+
+// CacheStatsJSON is the wire form of the array-synthesis cache counters.
+type CacheStatsJSON struct {
+	Hits     uint64  `json:"hits"`
+	Misses   uint64  `json:"misses"`
+	Shared   uint64  `json:"shared"`
+	Bypassed uint64  `json:"bypassed"`
+	Entries  int     `json:"entries"`
+	HitRate  float64 `json:"hit_rate"`
+}
+
+func newCacheStatsJSON(cs array.CacheStats) CacheStatsJSON {
+	return CacheStatsJSON{
+		Hits:     cs.Hits,
+		Misses:   cs.Misses,
+		Shared:   cs.Shared,
+		Bypassed: cs.Bypassed,
+		Entries:  cs.Entries,
+		HitRate:  cs.HitRate(),
+	}
+}
+
+// DSEReport is the machine-readable form of a completed (or partial)
+// sweep: the body of a finished job's result and of mcpat-dse -json.
+type DSEReport struct {
+	Objective  string           `json:"objective"`
+	Evaluated  int              `json:"evaluated"`
+	Feasible   int              `json:"feasible"`
+	Best       *DSECandidate    `json:"best,omitempty"`
+	Candidates []DSECandidate   `json:"candidates"`
+	Failures   []DSEFailureJSON `json:"failures,omitempty"`
+	Cache      CacheStatsJSON   `json:"cache"`
+}
+
+// NewDSEReport converts an engine result into the shared wire form.
+func NewDSEReport(res *explore.Result, obj explore.Objective) *DSEReport {
+	rep := &DSEReport{
+		Objective:  obj.String(),
+		Evaluated:  res.Evaluated,
+		Feasible:   res.Feasible,
+		Candidates: make([]DSECandidate, 0, len(res.Candidates)),
+		Cache:      newCacheStatsJSON(res.Cache),
+	}
+	for _, c := range res.Candidates {
+		rep.Candidates = append(rep.Candidates, newDSECandidate(c))
+	}
+	if res.Best != nil {
+		best := newDSECandidate(*res.Best)
+		rep.Best = &best
+	}
+	for _, f := range res.Failures {
+		rep.Failures = append(rep.Failures, DSEFailureJSON{
+			Candidate: newDSECandidate(f.Candidate),
+			Error:     *apiError(f.Err),
+		})
+	}
+	return rep
+}
+
+// JobState names one stage of the DSE job lifecycle.
+type JobState string
+
+// Job lifecycle states. Queued and running jobs are live; done, failed,
+// and canceled are terminal.
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// JobStatus is the wire form of one job, returned by POST /v1/dse,
+// GET /v1/jobs/{id}, and DELETE /v1/jobs/{id}.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+
+	// Sweep progress: candidates evaluated so far out of the enumerated
+	// space. Done is monotonic; a canceled sweep stops short of Total.
+	CandidatesDone  int `json:"candidates_done"`
+	CandidatesTotal int `json:"candidates_total"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+
+	// Result is present once the job is terminal and any candidates were
+	// evaluated; a canceled job carries the partial sweep. Per-candidate
+	// failures live inside the result - they do not fail the job.
+	Result *DSEReport `json:"result,omitempty"`
+	// Error is present on failed (and canceled) jobs.
+	Error *APIError `json:"error,omitempty"`
+}

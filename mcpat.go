@@ -56,6 +56,7 @@ import (
 	"mcpat/internal/perfsim"
 	"mcpat/internal/power"
 	"mcpat/internal/presets"
+	"mcpat/internal/serve"
 	"mcpat/internal/study"
 	"mcpat/internal/tech"
 	"mcpat/internal/thermal"
@@ -367,6 +368,42 @@ func ExploreDesignSpace(p DSEParams, space DSESpace, cons DSEConstraints, obj DS
 // count. opts may be nil for defaults.
 func ExploreDesignSpaceContext(ctx context.Context, p DSEParams, space DSESpace, cons DSEConstraints, obj DSEObjective, opts *DSEOptions) (*DSEResult, error) {
 	return explore.SearchContext(ctx, p, space, cons, obj, opts)
+}
+
+// HTTP evaluation service (the mcpatd subsystem). The wire types are
+// shared between the service and the CLIs so both emit identical JSON.
+type (
+	// ServerConfig tunes the evaluation service (admission limits,
+	// deadlines, job pool).
+	ServerConfig = serve.Config
+	// Server is the mcpatd HTTP service; mount Handler() on an
+	// http.Server and call Shutdown to drain.
+	Server = serve.Server
+	// EvaluateRequest is the POST /v1/evaluate JSON body.
+	EvaluateRequest = serve.EvaluateRequest
+	// EvaluateResponse is the POST /v1/evaluate success body.
+	EvaluateResponse = serve.EvaluateResponse
+	// DSERequest is the POST /v1/dse JSON body describing one sweep.
+	DSERequest = serve.DSERequest
+	// DSEReport is the machine-readable sweep result, shared by the
+	// service's job results and mcpat-dse -json.
+	DSEReport = serve.DSEReport
+	// DSEReportCandidate is the wire form of one evaluated point.
+	DSEReportCandidate = serve.DSECandidate
+	// JobStatus is the wire form of an async DSE job.
+	JobStatus = serve.JobStatus
+	// APIError is the structured error detail of non-2xx responses.
+	APIError = serve.APIError
+)
+
+// NewServer builds the evaluation service; see cmd/mcpatd for the
+// ready-made binary.
+func NewServer(cfg ServerConfig) *Server { return serve.New(cfg) }
+
+// NewDSEReport converts an exploration result into the shared wire
+// form, so library users serialize sweeps identically to the service.
+func NewDSEReport(res *DSEResult, obj DSEObjective) *DSEReport {
+	return serve.NewDSEReport(res, obj)
 }
 
 // Thermal co-analysis: solve the power-temperature fixed point.
