@@ -63,3 +63,67 @@ func BenchmarkDSESweepCold(b *testing.B) {
 	}
 	b.ReportMetric(float64(evaluated)*float64(b.N)/b.Elapsed().Seconds(), "candidates/s")
 }
+
+// deltaSweep is a NoC-only sweep: cores, L2 capacity, and clustering are
+// fixed while the fabric varies, so candidates differ only in their
+// interconnect. This is the delta-re-evaluation shape the subsystem
+// cache targets: every candidate after the first reuses the synthesized
+// core and shared cache outright and only the fabric is rebuilt.
+func deltaSweep(b *testing.B) *mcpat.DSEResult {
+	b.Helper()
+	res, err := mcpat.ExploreDesignSpace(
+		mcpat.DSEParams{NM: 22, ClockHz: 2.5e9, Threads: 4},
+		mcpat.DSESpace{
+			Cores:       []int{16},
+			L2PerCoreKB: []int{256},
+			Fabrics: []mcpat.InterconnectKind{
+				mcpat.Mesh, mcpat.Ring, mcpat.Bus, mcpat.Crossbar,
+			},
+			ClusterSizes: []int{1},
+		},
+		mcpat.DSEConstraints{MaxAreaMM2: 400, MaxTDP: 250},
+		mcpat.MaxThroughput,
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Best == nil {
+		b.Fatal("sweep found no feasible design")
+	}
+	return res
+}
+
+// BenchmarkDSEDeltaSweep measures the NoC-only sweep with the subsystem
+// cache enabled (the default): cores and shared caches synthesize once
+// and every later candidate is a pure-fabric rebuild plus a cheap Score
+// pass over the reused subsystems.
+func BenchmarkDSEDeltaSweep(b *testing.B) {
+	mcpat.ResetArraySynthCache()
+	mcpat.ResetSubsysSynthCache()
+	var evaluated int
+	for i := 0; i < b.N; i++ {
+		res := deltaSweep(b)
+		evaluated = res.Evaluated
+	}
+	b.ReportMetric(float64(evaluated)*float64(b.N)/b.Elapsed().Seconds(), "candidates/s")
+	cs := mcpat.SubsysSynthCacheStats()
+	b.ReportMetric(100*cs.HitRate(), "subsys-hit%")
+}
+
+// BenchmarkDSEDeltaSweepArrayOnly is the pre-subsystem-cache baseline
+// for the same NoC-only sweep: the array cache stays on (the prior
+// optimization level) but every candidate still re-assembles cores and
+// caches from their arrays. The gap to BenchmarkDSEDeltaSweep is the
+// subsystem layer's contribution.
+func BenchmarkDSEDeltaSweepArrayOnly(b *testing.B) {
+	prev := mcpat.SetSubsysSynthCache(false)
+	defer mcpat.SetSubsysSynthCache(prev)
+	mcpat.ResetArraySynthCache()
+	mcpat.ResetSubsysSynthCache()
+	var evaluated int
+	for i := 0; i < b.N; i++ {
+		res := deltaSweep(b)
+		evaluated = res.Evaluated
+	}
+	b.ReportMetric(float64(evaluated)*float64(b.N)/b.Elapsed().Seconds(), "candidates/s")
+}

@@ -1,9 +1,12 @@
 package mcpat_test
 
-// Bit-identity contract for the synthesis cache at the whole-chip level:
-// for every validation target, the full power/area report tree produced
-// with the cache enabled (both the filling pass and the all-hits pass)
-// must be byte-for-byte equal to the tree produced with caching disabled.
+// Bit-identity contract for the synthesis caches at the whole-chip
+// level: for every validation target, the full power/area report tree
+// produced with a cache enabled (both the filling pass and the all-hits
+// pass) must be byte-for-byte equal to the tree produced with all
+// caching disabled. This file isolates the array-level cache (the
+// subsystem cache above it is switched off so chip builds actually reach
+// array.New); subsys_equivalence_test.go covers the subsystem layer.
 // The concurrent variant rebuilds all targets from parallel goroutines —
 // the explore-engine access pattern — and is the -race proof that shared
 // single-flight solves do not leak state between evaluations.
@@ -16,10 +19,16 @@ import (
 	"mcpat"
 )
 
+// uncachedReports builds every validation target with both synthesis
+// cache layers disabled — the ground-truth reference reports.
 func uncachedReports(t *testing.T) map[string]*mcpat.Report {
 	t.Helper()
-	prev := mcpat.SetArraySynthCache(false)
-	defer mcpat.SetArraySynthCache(prev)
+	prevArr := mcpat.SetArraySynthCache(false)
+	prevSub := mcpat.SetSubsysSynthCache(false)
+	defer func() {
+		mcpat.SetArraySynthCache(prevArr)
+		mcpat.SetSubsysSynthCache(prevSub)
+	}()
 	ref := make(map[string]*mcpat.Report)
 	for _, target := range mcpat.ValidationTargets() {
 		res, err := mcpat.Validate(target)
@@ -33,6 +42,8 @@ func uncachedReports(t *testing.T) map[string]*mcpat.Report {
 
 func TestCachedReportsBitIdentical(t *testing.T) {
 	ref := uncachedReports(t)
+	prevSub := mcpat.SetSubsysSynthCache(false)
+	defer mcpat.SetSubsysSynthCache(prevSub)
 	mcpat.ResetArraySynthCache()
 
 	for pass, label := range []string{"cold (cache-filling)", "warm (all hits)"} {
@@ -54,6 +65,8 @@ func TestCachedReportsBitIdentical(t *testing.T) {
 
 func TestCachedReportsBitIdenticalConcurrent(t *testing.T) {
 	ref := uncachedReports(t)
+	prevSub := mcpat.SetSubsysSynthCache(false)
+	defer mcpat.SetSubsysSynthCache(prevSub)
 	mcpat.ResetArraySynthCache()
 
 	const workers = 6

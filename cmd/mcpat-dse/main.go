@@ -45,8 +45,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel evaluations (0 = GOMAXPROCS)")
 		timeout   = flag.Duration("timeout", 0, "per-candidate evaluation deadline (0 = none)")
 		keepGoing = flag.Bool("keep-going", true, "continue the sweep past failed candidates")
-		stats     = flag.Bool("stats", false, "print synthesis-cache statistics for the sweep")
-		noCache   = flag.Bool("no-cache", false, "disable the synthesis result cache")
+		stats     = flag.Bool("stats", false, "print synthesis-cache statistics (array and subsystem reuse) for the sweep")
+		noCache   = flag.Bool("no-cache", false, "disable the synthesis result caches (array and subsystem)")
 		asJSON    = flag.Bool("json", false, "emit the sweep as JSON (candidates, failures, cache stats) - the same schema the mcpatd service returns")
 	)
 	flag.Parse()
@@ -65,6 +65,7 @@ func main() {
 
 	if *noCache {
 		mcpat.SetArraySynthCache(false)
+		mcpat.SetSubsysSynthCache(false)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -139,8 +140,18 @@ func main() {
 	}
 	if *stats {
 		cs := res.Cache
-		fmt.Printf("\nSynthesis cache: %d hits, %d misses, %d shared, %d bypassed (%.1f%% hit rate, %d resident entries)\n",
+		fmt.Printf("\nArray synthesis cache: %d hits, %d misses, %d shared, %d bypassed (%.1f%% hit rate, %d resident entries)\n",
 			cs.Hits, cs.Misses, cs.Shared, cs.Bypassed, 100*cs.HitRate(), cs.Entries)
+		ss := res.Subsys
+		tot := ss.Total()
+		fmt.Printf("Subsystem cache: %d hits, %d misses, %d shared, %d bypassed (%.1f%% hit rate, %d resident entries)\n",
+			tot.Hits, tot.Misses, tot.Shared, tot.Bypassed, 100*ss.HitRate(), ss.Entries)
+		for i, k := range ss.Kinds {
+			if k == (mcpat.SubsysKindStats{}) {
+				continue
+			}
+			fmt.Printf("  %-7s %d hits, %d misses\n", mcpat.SubsysKindName(i), k.Hits, k.Misses)
+		}
 	}
 	exit(interrupted, err)
 }

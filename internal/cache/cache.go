@@ -58,13 +58,15 @@ type Cache struct {
 	cfg Config
 }
 
-// New synthesizes the cache.
-func New(cfg Config) (*Cache, error) {
+// applyDefaults validates the configuration and fills every defaulted
+// field in place, leaving cfg in the exact form the synthesis reads. It
+// is idempotent; Synthesize relies on it for canonical cache keys.
+func (cfg *Config) applyDefaults() error {
 	if cfg.Tech == nil {
-		return nil, fmt.Errorf("cache %q: technology node required", cfg.Name)
+		return fmt.Errorf("cache %q: technology node required", cfg.Name)
 	}
 	if cfg.Bytes <= 0 {
-		return nil, fmt.Errorf("cache %q: capacity required", cfg.Name)
+		return fmt.Errorf("cache %q: capacity required", cfg.Name)
 	}
 	if cfg.BlockBytes <= 0 {
 		cfg.BlockBytes = 64
@@ -84,15 +86,25 @@ func New(cfg Config) (*Cache, error) {
 	if cfg.WBDepth <= 0 {
 		cfg.WBDepth = 16
 	}
+	if cfg.CellDev == tech.HP && !cfg.CellHP && cfg.Bytes >= 1024*1024 {
+		cfg.CellDev = tech.LSTP
+	}
+	if cfg.Directory && cfg.Sharers <= 0 {
+		cfg.Sharers = 8
+	}
+	return nil
+}
+
+// New synthesizes the cache.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
 	target := 0.0
 	if cfg.TargetHz > 0 {
 		// Shared caches are typically pipelined over 2+ cycles; require
 		// the bank cycle time to keep up with every-other-cycle access.
 		target = 2 / cfg.TargetHz
-	}
-
-	if cfg.CellDev == tech.HP && !cfg.CellHP && cfg.Bytes >= 1024*1024 {
-		cfg.CellDev = tech.LSTP
 	}
 	cellKind := array.SRAM
 	if cfg.EDRAM {
@@ -130,9 +142,6 @@ func New(cfg Config) (*Cache, error) {
 	}
 	if cfg.Directory {
 		sharers := cfg.Sharers
-		if sharers <= 0 {
-			sharers = 8
-		}
 		blocks := cfg.Bytes / cfg.BlockBytes
 		if c.Directory, err = array.New(array.Config{
 			Name: cfg.Name + ".dir", Tech: cfg.Tech, Periph: cfg.Dev, Cell: cfg.CellDev,

@@ -7,14 +7,12 @@ package chip
 
 import (
 	"fmt"
-	"math"
 
 	"mcpat/internal/cache"
 	"mcpat/internal/clock"
 	"mcpat/internal/core"
 	"mcpat/internal/guard"
 	"mcpat/internal/interconnect"
-	"mcpat/internal/logic"
 	"mcpat/internal/mc"
 	"mcpat/internal/power"
 	"mcpat/internal/tech"
@@ -97,7 +95,9 @@ type Config struct {
 	L3 *cache.Config
 
 	// L2PeakDuty is the TDP access rate per L2 bank in accesses/cycle
-	// (default 0.8); likewise for L3 (default 0.4).
+	// (default 1.0); likewise for L3 (default 0.4). The validation
+	// descriptors are calibrated against these defaults (see the
+	// regression test pinning them).
 	L2PeakDuty float64
 	L3PeakDuty float64
 
@@ -177,9 +177,17 @@ type Processor struct {
 
 	corePeak core.Activity
 	baseArea float64 // component area before top-level overheads
+
+	// parts is the scored component list in report order: each entry
+	// pairs a synthesized (possibly shared, memoized) component with the
+	// closure deriving its activity assignment from runtime Stats.
+	parts []part
 }
 
-// New synthesizes the processor. It is a panic-containment boundary: a
+// New synthesizes the processor by folding over the subsystem registry
+// (see assemble.go); subsystem synthesis is memoized process-wide, so a
+// chip that shares a subsystem configuration with a previously built one
+// reuses the synthesized model. New is a panic-containment boundary: a
 // fault anywhere in the model internals surfaces as an ErrInternal, and
 // malformed configurations surface as ErrConfig - never as a crash of
 // the host process.
@@ -219,216 +227,13 @@ func New(cfg Config) (p *Processor, err error) {
 	}
 
 	p = &Processor{Cfg: cfg, Tech: node}
-
-	// ---- Core -----------------------------------------------------------
-	ccfg := cfg.Core
-	ccfg.Tech = node
-	ccfg.Dev = cfg.Dev
-	ccfg.LongChannel = cfg.LongChannel
-	ccfg.ClockHz = cfg.ClockHz
-	if ccfg.Name == "" {
-		ccfg.Name = "core"
-	}
-	if p.CoreModel, err = core.New(ccfg); err != nil {
-		return nil, guard.Wrap(guard.ErrConfig, path+".core", err)
-	}
-	if cfg.CorePeak != nil {
-		p.corePeak = *cfg.CorePeak
-	} else {
-		p.corePeak = core.PeakActivity(ccfg)
-	}
-
-	// ---- Shared caches ---------------------------------------------------
-	mkCache := func(cc *cache.Config) (*cache.Cache, error) {
-		if cc == nil {
-			return nil, nil
-		}
-		c := *cc
-		c.Tech = node
-		c.Dev = cfg.Dev
-		if c.CellDev == 0 && cfg.Dev != tech.HP {
-			c.CellDev = cfg.Dev
-		}
-		c.LongChannel = cfg.LongChannel
-		if c.TargetHz == 0 {
-			c.TargetHz = cfg.ClockHz
-		}
-		return cache.New(c)
-	}
-	if p.L2, err = mkCache(cfg.L2); err != nil {
-		return nil, guard.Wrap(guard.ErrConfig, path+".l2", err)
-	}
-	if p.L3, err = mkCache(cfg.L3); err != nil {
-		return nil, guard.Wrap(guard.ErrConfig, path+".l3", err)
-	}
-
-	// ---- Shared FPUs ------------------------------------------------------
-	if cfg.SharedFPUs > 0 {
-		if p.fpu, err = logic.FunctionalUnit(node, cfg.Dev, cfg.LongChannel, logic.FPU); err != nil {
-			return nil, guard.At(err, path)
-		}
-	}
-
-	// ---- Off-chip interfaces ----------------------------------------------
-	if cfg.MC != nil {
-		m := *cfg.MC
-		m.Tech = node
-		m.Dev = cfg.Dev
-		m.LongChannel = cfg.LongChannel
-		if p.mcCtl, err = mc.New(m); err != nil {
-			return nil, guard.Wrap(guard.ErrConfig, path+".mc", err)
-		}
-	}
-	if cfg.NIU != nil {
-		n := *cfg.NIU
-		n.Tech = node
-		n.Dev = cfg.Dev
-		n.LongChannel = cfg.LongChannel
-		pat, err := mc.NewNIU(n)
-		if err != nil {
-			return nil, guard.Wrap(guard.ErrConfig, path+".niu", err)
-		}
-		p.niu = &pat
-	}
-	if cfg.PCIe != nil {
-		n := *cfg.PCIe
-		n.Tech = node
-		n.Dev = cfg.Dev
-		n.LongChannel = cfg.LongChannel
-		pat, err := mc.NewPCIe(n)
-		if err != nil {
-			return nil, guard.Wrap(guard.ErrConfig, path+".pcie", err)
-		}
-		p.pcie = &pat
-	}
-
-	// ---- Base area (pre-interconnect) -------------------------------------
-	coreArea := p.CoreModel.Area()
-	base := coreArea * float64(cfg.NumCores)
-	if p.L2 != nil {
-		base += p.L2.Area
-	}
-	if p.L3 != nil {
-		base += p.L3.Area
-	}
-	if cfg.SharedFPUs > 0 {
-		base += p.fpu.Area * float64(cfg.SharedFPUs)
-	}
-	if p.mcCtl != nil {
-		base += p.mcCtl.Area
-	}
-	if p.niu != nil {
-		base += p.niu.Area
-	}
-	if p.pcie != nil {
-		base += p.pcie.Area
-	}
-
-	// ---- Interconnect ------------------------------------------------------
-	chipSide := math.Sqrt(base * 1.1)
-	switch cfg.NoC.Kind {
-	case Mesh:
-		mx, my := cfg.NoC.MeshX, cfg.NoC.MeshY
-		if mx <= 0 || my <= 0 {
-			return nil, guard.Configf(path+".noc", "mesh NoC requires MeshX/MeshY")
-		}
-		// The router's local port fans out to the whole cluster: with
-		// clustering the router serves ClusterSize cores plus the L2
-		// slice, so give it one extra port beyond the 4 mesh directions.
-		ports := 5
-		if cfg.NoC.ClusterSize > 1 {
-			ports = 6
-		}
-		if p.router, err = interconnect.NewRouter(interconnect.RouterConfig{
-			Tech: node, Dev: cfg.Dev, LongChannel: cfg.LongChannel,
-			FlitBits: cfg.NoC.FlitBits, Ports: ports,
-			VirtualChannels: cfg.NoC.VirtualChannels, BuffersPerVC: cfg.NoC.BuffersPerVC,
-			Clock: cfg.ClockHz,
-		}); err != nil {
-			return nil, err
-		}
-		if p.link, err = interconnect.NewLink(interconnect.LinkConfig{
-			Tech: node, Dev: cfg.Dev, LongChannel: cfg.LongChannel,
-			Projection: cfg.WireProjection,
-			FlitBits:   cfg.NoC.FlitBits, Length: chipSide / float64(mx), Clock: cfg.ClockHz,
-		}); err != nil {
-			return nil, err
-		}
-		if cfg.NoC.ClusterSize > 1 {
-			// Intra-cluster bus spanning one mesh tile, connecting the
-			// cluster's cores and its L2 slice to the router.
-			if p.clusterBus, err = interconnect.NewBus(interconnect.BusConfig{
-				Tech: node, Dev: cfg.Dev, LongChannel: cfg.LongChannel,
-				Bits: cfg.NoC.FlitBits, Length: chipSide / float64(mx),
-				Agents: cfg.NoC.ClusterSize + 2, Clock: cfg.ClockHz,
-			}); err != nil {
-				return nil, err
-			}
-		}
-	case Bus:
-		if p.link, err = interconnect.NewBus(interconnect.BusConfig{
-			Tech: node, Dev: cfg.Dev, LongChannel: cfg.LongChannel,
-			Bits: cfg.NoC.FlitBits, Length: chipSide,
-			Agents: cfg.NumCores + maxInt(1, banksOf(cfg.L2)), Clock: cfg.ClockHz,
-		}); err != nil {
-			return nil, err
-		}
-	case Ring:
-		stations := cfg.NumCores + banksOf(cfg.L2)
-		if p.router, err = interconnect.NewRouter(interconnect.RouterConfig{
-			Tech: node, Dev: cfg.Dev, LongChannel: cfg.LongChannel,
-			FlitBits: cfg.NoC.FlitBits, Ports: 3,
-			VirtualChannels: cfg.NoC.VirtualChannels, BuffersPerVC: cfg.NoC.BuffersPerVC,
-			Clock: cfg.ClockHz,
-		}); err != nil {
-			return nil, err
-		}
-		// The ring snakes through the floorplan: total length ~2 chip
-		// perimeters, split evenly between stations.
-		ringLen := 4 * chipSide
-		if p.link, err = interconnect.NewLink(interconnect.LinkConfig{
-			Tech: node, Dev: cfg.Dev, LongChannel: cfg.LongChannel,
-			Projection: cfg.WireProjection,
-			FlitBits:   cfg.NoC.FlitBits, Length: ringLen / float64(stations), Clock: cfg.ClockHz,
-		}); err != nil {
-			return nil, err
-		}
-	case Crossbar:
-		if p.link, err = interconnect.NewCrossbar(interconnect.CrossbarConfig{
-			Tech: node, Dev: cfg.Dev, LongChannel: cfg.LongChannel,
-			InPorts: cfg.NumCores + 1, OutPorts: maxInt(1, banksOf(cfg.L2)) + 1,
-			Bits: cfg.NoC.FlitBits, SpanLength: 0.35 * chipSide,
-		}); err != nil {
+	b := &builder{p: p, node: node, path: path}
+	for _, sub := range subsystems {
+		if err := sub.build(b); err != nil {
 			return nil, err
 		}
 	}
-	switch {
-	case cfg.NoC.Kind == Ring:
-		stations := float64(cfg.NumCores + banksOf(cfg.L2))
-		base += (p.router.Area + p.link.Area) * stations
-	case p.router != nil:
-		base += p.router.Area*float64(cfg.NoC.MeshX*cfg.NoC.MeshY) +
-			p.link.Area*float64(linkCount(cfg.NoC.MeshX, cfg.NoC.MeshY))
-		if p.clusterBus != nil {
-			base += p.clusterBus.Area * float64(cfg.NoC.MeshX*cfg.NoC.MeshY)
-		}
-	case p.link != nil:
-		base += p.link.Area
-	}
-	p.baseArea = base
-
-	// ---- Clock network ------------------------------------------------------
-	sinkMult := cfg.ClockSinkMult
-	if sinkMult <= 0 {
-		sinkMult = 1
-	}
-	if p.clk, err = clock.New(clock.Config{
-		Tech: node, Dev: cfg.Dev, LongChannel: cfg.LongChannel,
-		ChipArea: base, ClockHz: cfg.ClockHz, GatingFactor: cfg.ClockGating,
-		SinkMult: sinkMult,
-	}); err != nil {
-		return nil, err
-	}
+	b.finish()
 	return p, nil
 }
 

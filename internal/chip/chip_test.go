@@ -318,3 +318,51 @@ func TestEDRAMChipIntegration(t *testing.T) {
 		t.Error("eDRAM L2 must be smaller than SRAM L2")
 	}
 }
+
+// TestPeakDutyDefaults pins the documented TDP duty-cycle defaults. The
+// validation descriptors are calibrated against these exact values: the
+// L2 duty default is 1.0 (a doc comment once claimed 0.8 — an explicit
+// 0.8 produces a measurably different report, as asserted below), and
+// the L3 default is 0.4.
+func TestPeakDutyDefaults(t *testing.T) {
+	base := manycoreCfg(4, Mesh)
+	p, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cfg.L2PeakDuty != 1.0 {
+		t.Errorf("L2PeakDuty default = %v, want 1.0", p.Cfg.L2PeakDuty)
+	}
+	if p.Cfg.L3PeakDuty != 0.4 {
+		t.Errorf("L3PeakDuty default = %v, want 0.4", p.Cfg.L3PeakDuty)
+	}
+	if p.Cfg.MCPeakUtil != 0.8 {
+		t.Errorf("MCPeakUtil default = %v, want 0.8", p.Cfg.MCPeakUtil)
+	}
+	if p.Cfg.ClockGating != 0.75 {
+		t.Errorf("ClockGating default = %v, want 0.75", p.Cfg.ClockGating)
+	}
+
+	// The default must be equivalent to an explicit 1.0 ...
+	explicit := manycoreCfg(4, Mesh)
+	explicit.L2PeakDuty = 1.0
+	pe, err := New(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defL2 := p.Report(nil).Find("L2").PeakDynamic
+	if got := pe.Report(nil).Find("L2").PeakDynamic; got != defL2 {
+		t.Errorf("explicit L2PeakDuty=1.0 gives L2 peak %v, default gives %v", got, defL2)
+	}
+
+	// ... and distinguishable from the historically mis-documented 0.8.
+	low := manycoreCfg(4, Mesh)
+	low.L2PeakDuty = 0.8
+	pl, err := New(low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pl.Report(nil).Find("L2").PeakDynamic; got >= defL2 {
+		t.Errorf("L2PeakDuty=0.8 L2 peak %v should be below the 1.0 default's %v", got, defL2)
+	}
+}

@@ -1,0 +1,186 @@
+package chip
+
+import (
+	"mcpat/internal/cache"
+	"mcpat/internal/clock"
+	"mcpat/internal/component"
+	"mcpat/internal/core"
+	"mcpat/internal/interconnect"
+	"mcpat/internal/mc"
+	"mcpat/internal/power"
+)
+
+// This file adapts the synthesized subsystem models onto the
+// component.Component contract. Each adapter's Score is pure: it reads
+// the shared (possibly memoized) model and the activity assignment,
+// allocates fresh Items, and never mutates either — so one synthesized
+// subsystem can back any number of chips concurrently. Where a model's
+// report roots itself in the configuration Name it was first synthesized
+// under, the adapter rebinds the root to this chip's name (child names
+// are constants, so only the root needs rebinding).
+
+// part pairs one synthesized component with the closure that derives its
+// activity assignment from chip-level runtime statistics. buildReport is
+// a fold over the parts list.
+type part struct {
+	comp   component.Component
+	assign func(stats *Stats) component.Assignment
+}
+
+// coreComponent scores the replicated processor cores. Assignment.Vec
+// carries a core.ActivityPair.
+type coreComponent struct {
+	name string
+	n    float64 // replication count across the chip
+	core *core.Core
+}
+
+func (c *coreComponent) Score(a component.Assignment) *power.Item {
+	pair := a.Vec.(core.ActivityPair)
+	rep := c.core.Report(pair.Peak, pair.Run)
+	rep.Name = c.name
+	group := power.NewItemN("Cores", 1)
+	group.Add(rep)
+	group.Rollup()
+	group.Scale(c.n)
+	return group
+}
+
+// cacheComponent scores one shared cache level: Peak/Run carry the
+// read/write access rates.
+type cacheComponent struct {
+	name  string
+	cache *cache.Cache
+}
+
+func (c *cacheComponent) Score(a component.Assignment) *power.Item {
+	item := c.cache.Report(a.Peak.Reads, a.Peak.Writes, a.Run.Reads, a.Run.Writes)
+	item.Name = c.name
+	return item
+}
+
+// fpuComponent scores the chip-level shared floating-point units:
+// Peak/Run.Reads carry the FP operation rates.
+type fpuComponent struct {
+	pat power.PAT
+	n   float64
+}
+
+func (c *fpuComponent) Score(a component.Assignment) *power.Item {
+	fpu := power.FromPAT("SharedFPU", c.pat, a.Peak, a.Run)
+	fpu.Area = c.pat.Area * c.n
+	fpu.SubLeak = c.pat.Static.Sub * c.n
+	fpu.GateLeak = c.pat.Static.Gate * c.n
+	return fpu
+}
+
+// fabricComponent scores the chip fabric. Peak/Run.Reads carry the
+// flit/transfer rates; AuxPeak/AuxRun carry the intra-cluster bus rates
+// of a clustered mesh.
+type fabricComponent struct {
+	kind       InterconnectKind
+	router     *interconnect.Router
+	link       *interconnect.Link // mesh link, ring link, bus, or crossbar
+	clusterBus *interconnect.Link
+	routers    float64 // router replication (mesh tiles or ring stations)
+	links      float64 // link replication
+}
+
+func (f *fabricComponent) Score(a component.Assignment) *power.Item {
+	switch f.kind {
+	case Mesh:
+		ic := power.NewItemN("NoC", 3)
+		routers := power.FromPAT("routers", f.router.PAT, a.Peak, a.Run)
+		routers.Scale(f.routers)
+		links := power.FromPAT("links", f.link.PAT, a.Peak, a.Run)
+		links.Scale(f.links)
+		ic.Add(routers, links)
+		if f.clusterBus != nil {
+			buses := power.FromPAT("clusterbus", f.clusterBus.PAT, a.AuxPeak, a.AuxRun)
+			buses.Scale(f.routers)
+			ic.Add(buses)
+		}
+		return ic
+	case Ring:
+		ic := power.NewItemN("Ring", 2)
+		routers := power.FromPAT("routers", f.router.PAT, a.Peak, a.Run)
+		routers.Scale(f.routers)
+		links := power.FromPAT("links", f.link.PAT, a.Peak, a.Run)
+		links.Scale(f.links)
+		ic.Add(routers, links)
+		return ic
+	case Bus:
+		ic := power.NewItemN("Bus", 1)
+		ic.Add(power.FromPAT("bus", f.link.PAT, a.Peak, a.Run))
+		return ic
+	case Crossbar:
+		ic := power.NewItemN("Crossbar", 1)
+		ic.Add(power.FromPAT("crossbar", f.link.PAT, a.Peak, a.Run))
+		return ic
+	}
+	return nil
+}
+
+// mcComponent scores the memory controller: Peak/Run carry the
+// read/write transaction rates, applied uniformly to the front end,
+// transaction engine, and PHY.
+type mcComponent struct {
+	ctl *mc.Controller
+}
+
+func (c *mcComponent) Score(a component.Assignment) *power.Item {
+	rep := power.NewItemN("MemoryController", 3)
+	rep.Add(
+		power.FromPAT("frontend", c.ctl.FrontEnd, a.Peak, a.Run),
+		power.FromPAT("backend", c.ctl.Backend, a.Peak, a.Run),
+		power.FromPAT("phy", c.ctl.PHY, a.Peak, a.Run),
+	)
+	return rep
+}
+
+// ioComponent scores a flat I/O controller (NIU, PCIe): Peak/Run.Reads
+// carry the bit rates.
+type ioComponent struct {
+	name string
+	pat  power.PAT
+}
+
+func (c *ioComponent) Score(a component.Assignment) *power.Item {
+	return power.FromPAT(c.name, c.pat, a.Peak, a.Run)
+}
+
+// clockComponent scores the clock distribution network. Run.Reads
+// carries the runtime utilization (pipeline duty, floored at 0.5 by the
+// assignment closure), or zero when no runtime statistics exist, in
+// which case only the TDP column is populated.
+type clockComponent struct {
+	net    *clock.Network
+	gating float64
+}
+
+func (c *clockComponent) Score(a component.Assignment) *power.Item {
+	clk := &power.Item{
+		Name:        "ClockNetwork",
+		Area:        c.net.Area,
+		PeakDynamic: c.net.PowerPeak,
+		SubLeak:     c.net.Static.Sub,
+		GateLeak:    c.net.Static.Gate,
+	}
+	if util := a.Run.Reads; util > 0 {
+		// Runtime clock power: same network, gated down with activity.
+		clk.RuntimeDynamic = c.net.PowerMax * (0.35 + 0.65*util) * c.gating
+	}
+	return clk
+}
+
+// staticComponent scores a fixed report leaf (the unmodeled-area entry).
+// It copies the template so the parent rollup never mutates shared
+// state.
+type staticComponent struct {
+	item power.Item
+}
+
+func (c *staticComponent) Score(component.Assignment) *power.Item {
+	it := c.item
+	return &it
+}

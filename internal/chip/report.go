@@ -50,179 +50,23 @@ func (p *Processor) Check(stats *Stats) (*power.Item, guard.Diagnostics, error) 
 	return rep, guard.CheckReport(rep, nil), nil
 }
 
+// buildReport folds the scored parts list (fixed in report order at
+// assembly time) into the chip's hierarchical report: every part maps
+// the runtime statistics through its assignment closure and scores its
+// synthesized component; the rollup then sums children in list order,
+// preserving the pre-registry floating-point accumulation exactly.
 func (p *Processor) buildReport(stats *Stats) *power.Item {
-	cfg := &p.Cfg
-	hz := cfg.ClockHz
 	if stats == nil {
 		stats = &Stats{}
 	}
-
-	item := power.NewItemN(cfg.Name, 10)
-
-	// ---- Cores ---------------------------------------------------------
-	coreRep := p.CoreModel.Report(p.corePeak, stats.CoreRun)
-	cores := power.NewItemN("Cores", 1)
-	cores.Add(coreRep)
-	cores.Rollup()
-	cores.Scale(float64(cfg.NumCores))
-	cores.Name = "Cores"
-	item.Add(cores)
-
-	// ---- Shared caches ---------------------------------------------------
-	if p.L2 != nil {
-		// TDP access rate: limited both by the bank count and by the
-		// miss/traffic rate the cores can generate (~2 L2 accesses per
-		// core per cycle at saturation).
-		acc := cfg.L2PeakDuty * float64(minInt(p.L2.Cfg().Banks, 2*cfg.NumCores)) * hz
-		item.Add(p.L2.Report(acc*0.7, acc*0.3, stats.L2Reads, stats.L2Writes))
+	item := power.NewItemN(p.Cfg.Name, len(p.parts))
+	for i := range p.parts {
+		pt := &p.parts[i]
+		item.Add(pt.comp.Score(pt.assign(stats)))
 	}
-	if p.L3 != nil {
-		acc := cfg.L3PeakDuty * float64(minInt(p.L3.Cfg().Banks, 2*cfg.NumCores)) * hz
-		item.Add(p.L3.Report(acc*0.7, acc*0.3, stats.L3Reads, stats.L3Writes))
-	}
-
-	// ---- Shared FPUs -----------------------------------------------------
-	if cfg.SharedFPUs > 0 {
-		n := float64(cfg.SharedFPUs)
-		fpu := power.FromPAT("SharedFPU", p.fpu,
-			power.Activity{Reads: 0.5 * n * hz},
-			power.Activity{Reads: stats.FPOpsPerSec})
-		fpu.Area = p.fpu.Area * n
-		fpu.SubLeak = p.fpu.Static.Sub * n
-		fpu.GateLeak = p.fpu.Static.Gate * n
-		item.Add(fpu)
-	}
-
-	// ---- Interconnect -----------------------------------------------------
-	if ic := p.interconnectReport(stats); ic != nil {
-		item.Add(ic)
-	}
-
-	// ---- Memory controller -------------------------------------------------
-	if p.mcCtl != nil {
-		peakTxn := 0.0
-		if cfg.MC.PeakBandwidth > 0 {
-			peakTxn = cfg.MCPeakUtil * cfg.MC.PeakBandwidth / 64
-		}
-		mcRep := power.NewItemN("MemoryController", 3)
-		mcRep.Add(
-			power.FromPAT("frontend", p.mcCtl.FrontEnd,
-				power.Activity{Reads: peakTxn * 0.6, Writes: peakTxn * 0.4},
-				power.Activity{Reads: stats.MCAccesses * 0.6, Writes: stats.MCAccesses * 0.4}),
-			power.FromPAT("backend", p.mcCtl.Backend,
-				power.Activity{Reads: peakTxn * 0.6, Writes: peakTxn * 0.4},
-				power.Activity{Reads: stats.MCAccesses * 0.6, Writes: stats.MCAccesses * 0.4}),
-			power.FromPAT("phy", p.mcCtl.PHY,
-				power.Activity{Reads: peakTxn * 0.6, Writes: peakTxn * 0.4},
-				power.Activity{Reads: stats.MCAccesses * 0.6, Writes: stats.MCAccesses * 0.4}),
-		)
-		item.Add(mcRep)
-	}
-
-	// ---- I/O controllers ------------------------------------------------------
-	if p.niu != nil {
-		peakBits := 2 * cfg.NIU.Bandwidth * float64(maxInt(cfg.NIU.Count, 1))
-		item.Add(power.FromPAT("NIU", *p.niu,
-			power.Activity{Reads: peakBits},
-			power.Activity{Reads: stats.NIUBitsPerSec}))
-	}
-	if p.pcie != nil {
-		lanes := float64(maxInt(cfg.PCIe.Lanes, 1))
-		gbps := cfg.PCIe.GbpsPerLane
-		if gbps <= 0 {
-			gbps = 2.5
-		}
-		peakBits := lanes * gbps * 1e9
-		item.Add(power.FromPAT("PCIe", *p.pcie,
-			power.Activity{Reads: peakBits},
-			power.Activity{Reads: stats.PCIeBitsPerSec}))
-	}
-
-	// ---- Clock network -----------------------------------------------------
-	clk := &power.Item{
-		Name:        "ClockNetwork",
-		Area:        p.clk.Area,
-		PeakDynamic: p.clk.PowerPeak,
-		SubLeak:     p.clk.Static.Sub,
-		GateLeak:    p.clk.Static.Gate,
-	}
-	if stats.CoreRun.PipelineDuty > 0 || stats.L2Reads > 0 || stats.NoCFlits > 0 {
-		// Runtime clock power: same network, gated down with activity.
-		util := stats.CoreRun.PipelineDuty
-		if util <= 0 {
-			util = 0.5
-		}
-		clk.RuntimeDynamic = p.clk.PowerMax * (0.35 + 0.65*util) * cfg.ClockGating
-	}
-	item.Add(clk)
-
-	if cfg.OtherArea > 0 {
-		item.Add(&power.Item{Name: "Other(unmodeled)", Area: cfg.OtherArea})
-	}
-
 	item.Rollup()
 	item.Area *= topLevelOverhead
 	return item
-}
-
-func (p *Processor) interconnectReport(stats *Stats) *power.Item {
-	cfg := &p.Cfg
-	hz := cfg.ClockHz
-	switch cfg.NoC.Kind {
-	case Mesh:
-		nr := float64(cfg.NoC.MeshX * cfg.NoC.MeshY)
-		nl := float64(linkCount(cfg.NoC.MeshX, cfg.NoC.MeshY))
-		const peakDuty = 0.4 // flits per router per cycle at TDP
-		ic := power.NewItemN("NoC", 3)
-		routers := power.FromPAT("routers", p.router.PAT,
-			power.Activity{Reads: peakDuty * hz},
-			power.Activity{Reads: stats.NoCFlits})
-		routers.Scale(nr)
-		links := power.FromPAT("links", p.link.PAT,
-			power.Activity{Reads: peakDuty * hz},
-			power.Activity{Reads: stats.NoCFlits})
-		links.Scale(nl)
-		ic.Add(routers, links)
-		if p.clusterBus != nil {
-			buses := power.FromPAT("clusterbus", p.clusterBus.PAT,
-				power.Activity{Reads: 0.6 * hz},
-				power.Activity{Reads: stats.ClusterBusTransfers})
-			buses.Scale(nr)
-			ic.Add(buses)
-		}
-		return ic
-	case Ring:
-		stations := float64(cfg.NumCores + banksOf(cfg.L2))
-		// Every flit traverses ~stations/4 hops on average, so per-router
-		// forwarding duty runs high at TDP.
-		const peakDuty = 0.5
-		ic := power.NewItemN("Ring", 2)
-		routers := power.FromPAT("routers", p.router.PAT,
-			power.Activity{Reads: peakDuty * hz},
-			power.Activity{Reads: stats.NoCFlits})
-		routers.Scale(stations)
-		links := power.FromPAT("links", p.link.PAT,
-			power.Activity{Reads: peakDuty * hz},
-			power.Activity{Reads: stats.NoCFlits})
-		links.Scale(stations)
-		ic.Add(routers, links)
-		return ic
-	case Bus:
-		const peakDuty = 0.8
-		ic := power.NewItemN("Bus", 1)
-		ic.Add(power.FromPAT("bus", p.link.PAT,
-			power.Activity{Reads: peakDuty * hz},
-			power.Activity{Reads: stats.NoCFlits}))
-		return ic
-	case Crossbar:
-		peakDuty := 0.5 * float64(cfg.NumCores) // port pairs busy at TDP
-		ic := power.NewItemN("Crossbar", 1)
-		ic.Add(power.FromPAT("crossbar", p.link.PAT,
-			power.Activity{Reads: peakDuty * hz},
-			power.Activity{Reads: stats.NoCFlits}))
-		return ic
-	}
-	return nil
 }
 
 // TDP returns the chip thermal design power in watts (peak dynamic plus

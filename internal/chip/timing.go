@@ -51,7 +51,7 @@ func (p *Processor) TimingReport() []TimingEntry {
 		add("L3", p.L3.Data.AccessTime, p.L3.Data.CycleTime)
 	}
 	if p.router != nil {
-		add("noc.router", p.router.Delay, p.router.Cycle0())
+		add("noc.router", p.router.Delay, p.router.CycleTime())
 	}
 	if p.link != nil {
 		add("noc.link", p.link.Delay, p.link.Delay/math.Max(float64(p.link.Stages), 1))

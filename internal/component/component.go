@@ -1,0 +1,99 @@
+// Package component defines the chip-level two-phase component contract
+// and the subsystem-level synthesis cache that makes design-space sweeps
+// incremental.
+//
+// McPAT's composability comes from one uniform result shape: every block
+// — wire, array, functional unit, core, fabric — reduces to the same
+// power/area/timing triple, so a chip is just a tree of such results.
+// This package makes the second half of that idea explicit by splitting
+// every chip subsystem into two phases:
+//
+//   - Synthesize: config-dependent and expensive. Geometry, energies and
+//     leakage are solved once per distinct configuration (what core.New,
+//     cache.New, the interconnect constructors, mc.New and clock.New do).
+//     Synthesis results are memoized process-wide (see Memoize), keyed by
+//     a canonical config value plus the technology node's fingerprint.
+//
+//   - Score: cheap and pure. A synthesized component maps an Assignment —
+//     the peak (TDP) and runtime activity it is driven with — to a report
+//     Item. Scoring never mutates the component, so one synthesized
+//     instance may be shared by any number of chips concurrently.
+//
+// chip.New assembles a processor as a registry of Components paired with
+// assignment closures; chip.Report is then a pure Score pass. A DSE sweep
+// that varies only one subsystem's knobs re-synthesizes only that
+// subsystem — delta re-evaluation falls out of the cache keying rather
+// than from any sweep-specific logic.
+package component
+
+import "mcpat/internal/power"
+
+// Kind identifies the subsystem family a synthesized component belongs
+// to. The memo layer keeps per-kind reuse counters so sweeps can report
+// which subsystems were actually re-synthesized.
+type Kind uint8
+
+const (
+	// KindCore is a processor core model (core.Core).
+	KindCore Kind = iota
+	// KindCache is a shared cache level (cache.Cache).
+	KindCache
+	// KindFabric covers on-chip interconnect pieces: routers, links,
+	// buses, and crossbars.
+	KindFabric
+	// KindMC covers the off-chip interfaces: memory controller, NIU,
+	// and PCIe.
+	KindMC
+	// KindClock is the chip-wide clock distribution network.
+	KindClock
+
+	numKinds
+)
+
+// NumKinds is the number of distinct component kinds tracked by the
+// cache counters.
+const NumKinds = int(numKinds)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCore:
+		return "core"
+	case KindCache:
+		return "cache"
+	case KindFabric:
+		return "fabric"
+	case KindMC:
+		return "mc"
+	case KindClock:
+		return "clock"
+	}
+	return "unknown"
+}
+
+// Assignment is the Score-phase input: the activity a component is
+// driven with under TDP and runtime conditions. Which fields a component
+// reads is part of its contract; unused fields are ignored.
+type Assignment struct {
+	// Peak and Run are the TDP and runtime activity vectors for
+	// components driven by a single access stream (caches, fabrics,
+	// memory and I/O controllers).
+	Peak, Run power.Activity
+
+	// AuxPeak and AuxRun carry a second activity stream where one
+	// exists (the intra-cluster bus of a clustered mesh fabric).
+	AuxPeak, AuxRun power.Activity
+
+	// Vec carries a component-specific activity payload that does not
+	// reduce to plain read/write rates — the core's full per-structure
+	// activity vector. Components that use Vec document the concrete
+	// type they expect.
+	Vec any
+}
+
+// Component is a synthesized chip subsystem ready for scoring. Score
+// maps an activity assignment to the subsystem's report subtree; it must
+// be pure (no mutation of the component, fresh Items every call) so that
+// memoized components can be shared across chips and goroutines.
+type Component interface {
+	Score(a Assignment) *power.Item
+}

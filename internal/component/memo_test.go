@@ -1,0 +1,238 @@
+package component
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// resetForTest gives each test a clean, enabled cache.
+func resetForTest(t *testing.T) {
+	t.Helper()
+	prev := SetCacheEnabled(true)
+	ResetCache()
+	t.Cleanup(func() {
+		SetCacheEnabled(prev)
+		ResetCache()
+	})
+}
+
+type testKey struct{ ID int }
+
+func TestMemoizeHitReturnsSharedValue(t *testing.T) {
+	resetForTest(t)
+	var runs atomic.Int32
+	synth := func() (*int, error) {
+		runs.Add(1)
+		v := 42
+		return &v, nil
+	}
+	a, err := Memoize(KindCore, testKey{1}, synth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Memoize(KindCore, testKey{1}, synth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 1 {
+		t.Errorf("synthesis ran %d times, want 1", runs.Load())
+	}
+	if a != b {
+		t.Error("hit returned a different instance; subsystem values must be shared")
+	}
+	cs := Stats()
+	if k := cs.Kinds[KindCore]; k.Hits != 1 || k.Misses != 1 {
+		t.Errorf("counters = %+v, want 1 hit / 1 miss", k)
+	}
+	if cs.Entries != 1 {
+		t.Errorf("Entries = %d, want 1", cs.Entries)
+	}
+}
+
+func TestMemoizeKeysAndKindsAreDistinct(t *testing.T) {
+	resetForTest(t)
+	mk := func(v int) func() (int, error) {
+		return func() (int, error) { return v, nil }
+	}
+	if v, _ := Memoize(KindCore, testKey{1}, mk(10)); v != 10 {
+		t.Fatalf("got %d", v)
+	}
+	// Same key value under a different kind must not collide.
+	if v, _ := Memoize(KindCache, testKey{1}, mk(20)); v != 20 {
+		t.Errorf("kind collision: got %d, want 20", v)
+	}
+	// Different key under the same kind must not collide.
+	if v, _ := Memoize(KindCore, testKey{2}, mk(30)); v != 30 {
+		t.Errorf("key collision: got %d, want 30", v)
+	}
+	if cs := Stats(); cs.Entries != 3 || cs.Total().Misses != 3 {
+		t.Errorf("stats = %+v, want 3 entries / 3 misses", cs)
+	}
+}
+
+func TestMemoizeErrorNotCached(t *testing.T) {
+	resetForTest(t)
+	boom := errors.New("boom")
+	var runs int
+	synth := func() (int, error) {
+		runs++
+		if runs == 1 {
+			return 0, boom
+		}
+		return 7, nil
+	}
+	if _, err := Memoize(KindMC, testKey{1}, synth); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	v, err := Memoize(KindMC, testKey{1}, synth)
+	if err != nil || v != 7 {
+		t.Fatalf("retry after error: v=%d err=%v", v, err)
+	}
+	if runs != 2 {
+		t.Errorf("synthesis ran %d times, want 2 (errors must not be cached)", runs)
+	}
+}
+
+func TestMemoizeDisabledBypasses(t *testing.T) {
+	resetForTest(t)
+	SetCacheEnabled(false)
+	var runs int
+	synth := func() (int, error) { runs++; return 1, nil }
+	for i := 0; i < 3; i++ {
+		if _, err := Memoize(KindClock, testKey{1}, synth); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if runs != 3 {
+		t.Errorf("synthesis ran %d times with cache disabled, want 3", runs)
+	}
+	cs := Stats()
+	if k := cs.Kinds[KindClock]; k.Bypassed != 3 || k.Hits != 0 || k.Misses != 0 {
+		t.Errorf("counters = %+v, want 3 bypassed only", k)
+	}
+	if cs.Entries != 0 {
+		t.Errorf("Entries = %d, want 0 (disabled runs must not populate)", cs.Entries)
+	}
+}
+
+func TestMemoizePanicUnblocksAndRetries(t *testing.T) {
+	resetForTest(t)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected the synthesis panic to propagate")
+			}
+		}()
+		Memoize(KindFabric, testKey{1}, func() (int, error) { panic("model fault") })
+	}()
+	// The panicked entry must be gone: a later call runs a real synthesis.
+	v, err := Memoize(KindFabric, testKey{1}, func() (int, error) { return 5, nil })
+	if err != nil || v != 5 {
+		t.Fatalf("after panic: v=%d err=%v", v, err)
+	}
+	if cs := Stats(); cs.Entries != 1 {
+		t.Errorf("Entries = %d, want 1", cs.Entries)
+	}
+}
+
+// TestMemoizeConcurrentSingleFlight is the -race proof of the layer:
+// many goroutines synthesize overlapping keys; every key's synthesis
+// must run exactly once and every caller must observe the same shared
+// instance.
+func TestMemoizeConcurrentSingleFlight(t *testing.T) {
+	resetForTest(t)
+	const (
+		workers = 16
+		keys    = 8
+		rounds  = 25
+	)
+	var runs [keys]atomic.Int32
+	got := make([][]*int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got[w] = make([]*int, keys)
+			for r := 0; r < rounds; r++ {
+				for k := 0; k < keys; k++ {
+					v, err := Memoize(KindCore, testKey{k}, func() (*int, error) {
+						runs[k].Add(1)
+						x := k
+						return &x, nil
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if got[w][k] == nil {
+						got[w][k] = v
+					} else if got[w][k] != v {
+						t.Errorf("worker %d key %d: instance changed between calls", w, k)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for k := 0; k < keys; k++ {
+		if n := runs[k].Load(); n != 1 {
+			t.Errorf("key %d synthesized %d times, want 1", k, n)
+		}
+		for w := 1; w < workers; w++ {
+			if got[w][k] != got[0][k] {
+				t.Errorf("key %d: workers observed different instances", k)
+				break
+			}
+		}
+	}
+	cs := Stats()
+	k := cs.Kinds[KindCore]
+	if k.Misses != keys {
+		t.Errorf("misses = %d, want %d", k.Misses, keys)
+	}
+	if want := uint64(workers*rounds*keys - keys); k.Hits != want {
+		t.Errorf("hits = %d, want %d", k.Hits, want)
+	}
+}
+
+func TestCacheStatsDeltaAndHitRate(t *testing.T) {
+	var a, b CacheStats
+	a.Kinds[KindCore] = KindStats{Hits: 10, Misses: 4, Shared: 1, Bypassed: 2}
+	a.Entries = 3
+	b.Kinds[KindCore] = KindStats{Hits: 25, Misses: 5, Shared: 2, Bypassed: 2}
+	b.Kinds[KindCache] = KindStats{Hits: 5, Misses: 5}
+	b.Entries = 7
+	d := b.Delta(a)
+	if got := d.Kinds[KindCore]; got != (KindStats{Hits: 15, Misses: 1, Shared: 1, Bypassed: 0}) {
+		t.Errorf("delta core = %+v", got)
+	}
+	if got := d.Kinds[KindCache]; got != (KindStats{Hits: 5, Misses: 5}) {
+		t.Errorf("delta cache = %+v", got)
+	}
+	if d.Entries != 7 {
+		t.Errorf("delta entries = %d, want newer snapshot's 7", d.Entries)
+	}
+	if hr := d.HitRate(); hr != float64(20)/float64(26) {
+		t.Errorf("hit rate = %v", hr)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		KindCore: "core", KindCache: "cache", KindFabric: "fabric",
+		KindMC: "mc", KindClock: "clock",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if fmt.Sprint(Kind(99)) != "unknown" {
+		t.Errorf("out-of-range kind should print unknown")
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"mcpat/internal/array"
 	"mcpat/internal/cache"
 	"mcpat/internal/chip"
+	"mcpat/internal/component"
 	"mcpat/internal/core"
 	"mcpat/internal/guard"
 	"mcpat/internal/mc"
@@ -139,6 +140,13 @@ type Result struct {
 	// candidate already solved hit this cache instead of recomputing,
 	// which is what makes wide sweeps cheap.
 	Cache array.CacheStats
+
+	// Subsys reports the subsystem-synthesis cache activity for the
+	// sweep (same delta semantics as Cache), broken down per component
+	// kind. This is the delta-re-evaluation layer: a sweep that varies
+	// only the NoC axes reuses whole synthesized cores and shared
+	// caches, showing up here as core/cache hits with a single miss.
+	Subsys component.CacheStats
 }
 
 // Options tunes the parallel engine. The zero value (or nil) selects the
@@ -329,6 +337,7 @@ func SearchContext(ctx context.Context, p Params, space Space, cons Constraints,
 
 	specs := enumerate(space)
 	cacheBefore := array.Stats()
+	subsysBefore := component.Stats()
 
 	type outcome struct {
 		cand Candidate
@@ -403,7 +412,10 @@ feed:
 	close(jobs)
 	wg.Wait()
 
-	res := &Result{Cache: array.Stats().Delta(cacheBefore)}
+	res := &Result{
+		Cache:  array.Stats().Delta(cacheBefore),
+		Subsys: component.Stats().Delta(subsysBefore),
+	}
 	for i := range outs {
 		if !outs[i].ran {
 			continue

@@ -45,7 +45,7 @@ type PAT struct {
 }
 
 // CycleTime returns the effective minimum cycle time.
-func (p PAT) Cycle0() float64 {
+func (p PAT) CycleTime() float64 {
 	if p.Cycle > 0 {
 		return p.Cycle
 	}

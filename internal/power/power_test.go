@@ -33,14 +33,14 @@ func TestEnergyDynamicPower(t *testing.T) {
 	}
 }
 
-func TestPATCycle0(t *testing.T) {
+func TestPATCycleTime(t *testing.T) {
 	p := PAT{Delay: 2e-9}
-	if p.Cycle0() != 2e-9 {
-		t.Errorf("Cycle0 fallback = %v", p.Cycle0())
+	if p.CycleTime() != 2e-9 {
+		t.Errorf("CycleTime fallback = %v", p.CycleTime())
 	}
 	p.Cycle = 1e-9
-	if p.Cycle0() != 1e-9 {
-		t.Errorf("Cycle0 explicit = %v", p.Cycle0())
+	if p.CycleTime() != 1e-9 {
+		t.Errorf("CycleTime explicit = %v", p.CycleTime())
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mcpat/internal/array"
+	"mcpat/internal/component"
 )
 
 // latencyBucketsMS are the upper bounds (milliseconds) of the request
@@ -33,8 +34,9 @@ func (h *histogram) observe(ms float64) {
 // histograms, job lifecycle counters, and the synthesis-cache deltas
 // since the server started. Everything is monotonic except the gauges.
 type metrics struct {
-	start     time.Time
-	cacheBase array.CacheStats
+	start      time.Time
+	cacheBase  array.CacheStats
+	subsysBase component.CacheStats
 
 	inFlight atomic.Int64
 
@@ -56,10 +58,11 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		start:     time.Now(),
-		cacheBase: array.Stats(),
-		requests:  make(map[string]map[string]uint64),
-		latency:   make(map[string]*histogram),
+		start:      time.Now(),
+		cacheBase:  array.Stats(),
+		subsysBase: component.Stats(),
+		requests:   make(map[string]map[string]uint64),
+		latency:    make(map[string]*histogram),
 	}
 }
 
@@ -112,6 +115,10 @@ type MetricsSnapshot struct {
 	// Cache reports the array-synthesis cache activity since the server
 	// started (Entries is the current resident total).
 	Cache CacheStatsJSON `json:"synth_cache"`
+	// Subsys reports the subsystem-synthesis cache (whole cores, shared
+	// caches, fabrics, memory controllers, clock networks) over the same
+	// window, with a per-kind breakdown.
+	Subsys SubsysCacheStatsJSON `json:"subsys_cache"`
 }
 
 func bucketLabel(i int) string {
@@ -135,7 +142,8 @@ func (m *metrics) snapshot() MetricsSnapshot {
 			Canceled:  m.jobsCanceled.Load(),
 			Rejected:  m.jobsRejected.Load(),
 		},
-		Cache: newCacheStatsJSON(array.Stats().Delta(m.cacheBase)),
+		Cache:  newCacheStatsJSON(array.Stats().Delta(m.cacheBase)),
+		Subsys: newSubsysCacheStatsJSON(component.Stats().Delta(m.subsysBase)),
 	}
 	if m.queueDepth != nil {
 		snap.Jobs.QueueDepth = m.queueDepth()

@@ -6,6 +6,7 @@ import (
 
 	"mcpat/internal/array"
 	"mcpat/internal/chip"
+	"mcpat/internal/component"
 	"mcpat/internal/explore"
 	"mcpat/internal/power"
 )
@@ -207,6 +208,51 @@ func newCacheStatsJSON(cs array.CacheStats) CacheStatsJSON {
 	}
 }
 
+// SubsysCacheStatsJSON is the wire form of the subsystem-synthesis cache
+// counters: totals plus a per-kind breakdown (core, cache, fabric, mc,
+// clock) showing which whole subsystems were reused rather than
+// re-synthesized.
+type SubsysCacheStatsJSON struct {
+	Hits     uint64                   `json:"hits"`
+	Misses   uint64                   `json:"misses"`
+	Shared   uint64                   `json:"shared"`
+	Bypassed uint64                   `json:"bypassed"`
+	Entries  int                      `json:"entries"`
+	HitRate  float64                  `json:"hit_rate"`
+	Kinds    map[string]KindStatsJSON `json:"kinds"`
+}
+
+// KindStatsJSON is one component kind's share of the subsystem cache
+// counters. Kinds with no activity are omitted from the wire form.
+type KindStatsJSON struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Shared   uint64 `json:"shared,omitempty"`
+	Bypassed uint64 `json:"bypassed,omitempty"`
+}
+
+func newSubsysCacheStatsJSON(cs component.CacheStats) SubsysCacheStatsJSON {
+	tot := cs.Total()
+	out := SubsysCacheStatsJSON{
+		Hits:     tot.Hits,
+		Misses:   tot.Misses,
+		Shared:   tot.Shared,
+		Bypassed: tot.Bypassed,
+		Entries:  cs.Entries,
+		HitRate:  cs.HitRate(),
+		Kinds:    make(map[string]KindStatsJSON),
+	}
+	for i, k := range cs.Kinds {
+		if k == (component.KindStats{}) {
+			continue
+		}
+		out.Kinds[component.Kind(i).String()] = KindStatsJSON{
+			Hits: k.Hits, Misses: k.Misses, Shared: k.Shared, Bypassed: k.Bypassed,
+		}
+	}
+	return out
+}
+
 // DSEReport is the machine-readable form of a completed (or partial)
 // sweep: the body of a finished job's result and of mcpat-dse -json.
 type DSEReport struct {
@@ -217,6 +263,10 @@ type DSEReport struct {
 	Candidates []DSECandidate   `json:"candidates"`
 	Failures   []DSEFailureJSON `json:"failures,omitempty"`
 	Cache      CacheStatsJSON   `json:"cache"`
+	// Subsys reports subsystem-level reuse during the sweep: whole
+	// cores, caches, fabrics, memory controllers, and clock networks
+	// served from the component cache instead of being re-synthesized.
+	Subsys SubsysCacheStatsJSON `json:"subsys_cache"`
 }
 
 // NewDSEReport converts an engine result into the shared wire form.
@@ -227,6 +277,7 @@ func NewDSEReport(res *explore.Result, obj explore.Objective) *DSEReport {
 		Feasible:   res.Feasible,
 		Candidates: make([]DSECandidate, 0, len(res.Candidates)),
 		Cache:      newCacheStatsJSON(res.Cache),
+		Subsys:     newSubsysCacheStatsJSON(res.Subsys),
 	}
 	for _, c := range res.Candidates {
 		rep.Candidates = append(rep.Candidates, newDSECandidate(c))

@@ -45,6 +45,7 @@ import (
 	"mcpat/internal/array"
 	"mcpat/internal/cache"
 	"mcpat/internal/chip"
+	"mcpat/internal/component"
 	"mcpat/internal/config"
 	"mcpat/internal/core"
 	"mcpat/internal/dram"
@@ -488,6 +489,52 @@ func ResetArraySynthCache() { array.ResetCache() }
 // not drop resident entries; pair with ResetArraySynthCache for a fully
 // cold, cache-free run.
 func SetArraySynthCache(enabled bool) bool { return array.SetCacheEnabled(enabled) }
+
+// SubsysCacheStats is a snapshot of the subsystem synthesis-cache
+// counters, broken down by component kind (core, cache, fabric, mc,
+// clock). See SubsysSynthCacheStats.
+type SubsysCacheStats = component.CacheStats
+
+// SubsysKindStats is the per-kind counter record inside SubsysCacheStats.
+type SubsysKindStats = component.KindStats
+
+// SubsysSynthCacheStats returns the current counters of the process-wide
+// subsystem synthesis cache — the layer above the array cache. Whole
+// synthesized subsystems (a core with all of its arrays, a banked shared
+// cache, a router, a memory controller, the clock network) are memoized
+// by canonical configuration keys, so a DSE candidate that shares a
+// subsystem configuration with an earlier candidate reuses the
+// synthesized model outright instead of re-running its synthesis. This
+// is what makes sweeps incremental: a sweep that varies only NoC
+// parameters re-synthesizes fabrics and clocks but never cores or
+// caches (delta re-evaluation). Scoring a report from shared components
+// is pure, so reuse is bit-identical and safe under concurrency.
+func SubsysSynthCacheStats() SubsysCacheStats { return component.Stats() }
+
+// ResetSubsysSynthCache drops every cached subsystem and zeroes the
+// counters, forcing subsequent chip builds to re-synthesize (the array
+// cache underneath is independent; reset it separately).
+func ResetSubsysSynthCache() { component.ResetCache() }
+
+// SetSubsysSynthCache enables or disables subsystem-result caching (it
+// is enabled by default) and returns the previous setting. Disabling
+// does not drop resident entries; pair with ResetSubsysSynthCache for a
+// fully cold run.
+func SetSubsysSynthCache(enabled bool) bool { return component.SetCacheEnabled(enabled) }
+
+// Indices into SubsysCacheStats.Kinds, one per memoized subsystem
+// family.
+const (
+	SubsysKindCore   = int(component.KindCore)
+	SubsysKindCache  = int(component.KindCache)
+	SubsysKindFabric = int(component.KindFabric)
+	SubsysKindMC     = int(component.KindMC)
+	SubsysKindClock  = int(component.KindClock)
+)
+
+// SubsysKindName returns the display name of a SubsysCacheStats.Kinds
+// index ("core", "cache", "fabric", "mc", "clock").
+func SubsysKindName(i int) string { return component.Kind(i).String() }
 
 // NewCache synthesizes a standalone shared cache at the given node,
 // device class, and target clock - direct access to the memory-array
