@@ -9,14 +9,20 @@ package mcpat_test
 // on sweep workloads (BENCH_dse.json records the reference numbers).
 
 import (
+	"context"
 	"testing"
 
 	"mcpat"
 )
 
 func dseSweep(b *testing.B) *mcpat.DSEResult {
+	return dseSweepOpts(b, nil)
+}
+
+func dseSweepOpts(b *testing.B, opts *mcpat.DSEOptions) *mcpat.DSEResult {
 	b.Helper()
-	res, err := mcpat.ExploreDesignSpace(
+	res, err := mcpat.ExploreDesignSpaceContext(
+		context.Background(),
 		mcpat.DSEParams{NM: 22, ClockHz: 2.5e9, Threads: 4},
 		mcpat.DSESpace{
 			Cores:        []int{8, 16, 32},
@@ -25,6 +31,7 @@ func dseSweep(b *testing.B) *mcpat.DSEResult {
 		},
 		mcpat.DSEConstraints{MaxAreaMM2: 400, MaxTDP: 250},
 		mcpat.MaxThroughput,
+		opts,
 	)
 	if err != nil {
 		b.Fatal(err)
@@ -50,18 +57,49 @@ func BenchmarkDSESweep(b *testing.B) {
 	b.ReportMetric(100*cs.HitRate(), "hit%")
 }
 
-// BenchmarkDSESweepCold is the uncached baseline: the cache is disabled
-// for the duration, so every candidate pays full synthesis cost.
-func BenchmarkDSESweepCold(b *testing.B) {
-	prev := mcpat.SetArraySynthCache(false)
-	defer mcpat.SetArraySynthCache(prev)
+// coldSweepBench runs the sweep with BOTH synthesis cache layers
+// disabled — the true uncached baseline where every candidate pays full
+// array-optimizer enumeration and subsystem assembly cost. opts selects
+// the assembly parallelism under test.
+func coldSweepBench(b *testing.B, opts *mcpat.DSEOptions) {
+	b.Helper()
+	prevArr := mcpat.SetArraySynthCache(false)
+	prevSub := mcpat.SetSubsysSynthCache(false)
+	defer func() {
+		mcpat.SetArraySynthCache(prevArr)
+		mcpat.SetSubsysSynthCache(prevSub)
+	}()
 	mcpat.ResetArraySynthCache()
+	mcpat.ResetSubsysSynthCache()
+	b.ReportAllocs()
+	b.ResetTimer()
 	var evaluated int
 	for i := 0; i < b.N; i++ {
-		res := dseSweep(b)
+		res := dseSweepOpts(b, opts)
 		evaluated = res.Evaluated
 	}
 	b.ReportMetric(float64(evaluated)*float64(b.N)/b.Elapsed().Seconds(), "candidates/s")
+}
+
+// BenchmarkDSESweepCold is the uncached baseline: both synthesis caches
+// are disabled for the duration, so every candidate pays full synthesis
+// cost (at the process-default assembly parallelism).
+func BenchmarkDSESweepCold(b *testing.B) {
+	coldSweepBench(b, nil)
+}
+
+// BenchmarkDSESweepColdSerial pins the fully serial cold sweep: one
+// subsystem builds at a time inside each candidate. The gap to
+// BenchmarkDSESweepColdParallel is the concurrent-assembly speedup on
+// the host (identical on a 1-core machine by design).
+func BenchmarkDSESweepColdSerial(b *testing.B) {
+	coldSweepBench(b, &mcpat.DSEOptions{SynthWorkers: 1})
+}
+
+// BenchmarkDSESweepColdParallel runs the cold sweep with stage-0
+// subsystem builders fanned out across GOMAXPROCS workers per chip.
+func BenchmarkDSESweepColdParallel(b *testing.B) {
+	coldSweepBench(b, &mcpat.DSEOptions{SynthWorkers: 0})
 }
 
 // deltaSweep is a NoC-only sweep: cores, L2 capacity, and clustering are

@@ -200,6 +200,33 @@ func BenchmarkChipSynthesis(b *testing.B) {
 	}
 }
 
+// BenchmarkColdChipSynthesis is BenchmarkChipSynthesis with both
+// synthesis cache layers disabled: every iteration pays the full
+// cold-path cost — array-optimizer enumeration (with lower-bound
+// pruning) plus subsystem assembly on the worker pool. This is the
+// number the cold-path optimizations move; the gap to
+// BenchmarkChipSynthesis is the caches' contribution.
+func BenchmarkColdChipSynthesis(b *testing.B) {
+	prevArr := mcpat.SetArraySynthCache(false)
+	prevSub := mcpat.SetSubsysSynthCache(false)
+	defer func() {
+		mcpat.SetArraySynthCache(prevArr)
+		mcpat.SetSubsysSynthCache(prevSub)
+	}()
+	cfg := mcpat.ValidationTargets()[0].Chip
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := mcpat.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p.TDP() <= 0 {
+			b.Fatal("bad TDP")
+		}
+	}
+}
+
 // BenchmarkCacheOptimizer measures the array optimizer on a 16MB LLC.
 func BenchmarkCacheOptimizer(b *testing.B) {
 	b.ReportAllocs()

@@ -43,6 +43,7 @@ func main() {
 		objName   = flag.String("objective", "throughput", "throughput|perf/watt|ed2ap")
 		topN      = flag.Int("top", 8, "candidates to print")
 		workers   = flag.Int("workers", 0, "parallel evaluations (0 = GOMAXPROCS)")
+		par       = flag.Int("par", 0, "parallel subsystem builds inside each cold evaluation (0 = process default, 1 = serial)")
 		timeout   = flag.Duration("timeout", 0, "per-candidate evaluation deadline (0 = none)")
 		keepGoing = flag.Bool("keep-going", true, "continue the sweep past failed candidates")
 		stats     = flag.Bool("stats", false, "print synthesis-cache statistics (array and subsystem reuse) for the sweep")
@@ -82,6 +83,7 @@ func main() {
 		obj,
 		&mcpat.DSEOptions{
 			Workers:          *workers,
+			SynthWorkers:     *par,
 			CandidateTimeout: *timeout,
 			FailFast:         !*keepGoing,
 		},
@@ -152,6 +154,9 @@ func main() {
 			}
 			fmt.Printf("  %-7s %d hits, %d misses\n", mcpat.SubsysKindName(i), k.Hits, k.Misses)
 		}
+		op := res.ArrayOpt
+		fmt.Printf("Array optimizer: %d organizations evaluated, %d pruned (%.1f%% of the enumeration skipped)\n",
+			op.Evaluated, op.Pruned, 100*op.PruneRate())
 	}
 	exit(interrupted, err)
 }

@@ -47,6 +47,7 @@ func main() {
 	var (
 		addr         = flag.String("addr", ":8490", "listen address (use :0 for a random port)")
 		maxInflight  = flag.Int("max-inflight", 0, "concurrent synchronous evaluations (0 = GOMAXPROCS)")
+		synthWorkers = flag.Int("synth-workers", 0, "parallel subsystem builds inside each cold evaluation (0 = GOMAXPROCS, 1 = serial)")
 		reqTimeout   = flag.Duration("request-timeout", 60*time.Second, "per-request evaluation deadline (<0 = none)")
 		jobWorkers   = flag.Int("job-workers", 2, "concurrently running DSE jobs")
 		jobQueue     = flag.Int("job-queue", 16, "queued DSE jobs before shedding with 429")
@@ -55,6 +56,10 @@ func main() {
 		quiet        = flag.Bool("quiet", false, "suppress per-request logging")
 	)
 	flag.Parse()
+
+	if *synthWorkers > 0 {
+		mcpat.SetSynthWorkers(*synthWorkers)
+	}
 
 	logf := log.Printf
 	if *quiet {

@@ -17,6 +17,7 @@ package array
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"mcpat/internal/circuit"
 	"mcpat/internal/guard"
@@ -132,6 +133,13 @@ type Result struct {
 	// RefreshPower is the eDRAM refresh floor (W), already included in
 	// Static.Sub; zero for SRAM/DFF/CAM arrays.
 	RefreshPower float64
+
+	// Pruned counts candidate organizations the optimizer skipped via
+	// its lower-bound test during this synthesis (data + tag for
+	// associative caches). Pruning never changes the winner - this
+	// counter exists so tests and sweep stats can observe that the
+	// branch-and-bound search is actually cutting work.
+	Pruned int
 }
 
 // validate normalizes the config, returning total bits and output width.
@@ -294,6 +302,7 @@ type sramEnv struct {
 	vSwing  float64 // bitline read swing (V)
 	iCell   float64 // cell read current (A)
 	eSense1 float64 // sense-amp energy per sensed bit (J)
+	tSense  float64 // sense-amp resolve time (s)
 
 	cellSubPerBit  float64 // subthreshold leakage per stored bit (W)
 	cellGatePerBit float64 // gate leakage per stored bit (W)
@@ -320,6 +329,7 @@ func newSRAMEnv(cfg *Config) *sramEnv {
 	e.vSwing = 0.15 * e.vdd
 	e.iCell = 0.5 * e.cellDev.IonN * (2 * e.f)
 	e.eSense1 = e.per.FullSwingE(10 * e.wmin * e.per.Dev.CgPerW)
+	e.tSense = 2 * e.fo4
 	e.cellSubPerBit = e.cellDev.Ioff(n.SRAMCellNMOSWidth, n.SRAMCellPMOSWidth, n.Temperature) * e.cellDev.Vdd
 	e.cellGatePerBit = e.cellDev.Ig(n.SRAMCellNMOSWidth+n.SRAMCellPMOSWidth) * e.cellDev.Vdd
 	e.periphSubPerW = e.per.Dev.Ioff(1, 1, n.Temperature) * e.vdd
@@ -338,132 +348,288 @@ func optimize(cfg Config, totalBits, wordBits int) (*Result, error) {
 // optimizeEnv is optimize with a caller-provided invariant environment,
 // letting multi-array synthesis (data + tag of a cache) share one env.
 func optimizeEnv(env *sramEnv, cfg Config, totalBits, wordBits int) (*Result, error) {
-	var best *Result
-	var bestObj float64
-	var fastest *Result
-	subWords := subWordChoices(wordBits)
+	return optimizeEnvMode(env, cfg, totalBits, wordBits, true)
+}
+
+// optimizeEnvMode is the enumeration engine with branch-and-bound
+// pruning switchable (the property tests run it both ways and assert the
+// same winner). Once a feasible best exists, each remaining organization
+// is first screened by a cheap admissible lower bound on its objective
+// (and on its cycle time when a TargetCycle is set): every bound term is
+// a subset of the non-negative terms the full evaluation sums, computed
+// from the same hoisted sub-expressions, so a candidate whose bound
+// already exceeds the incumbent cannot win and is skipped without paying
+// the buffer-chain / repeated-wire / leakage math. The margin guards
+// against the float additions the bound omits re-associating the
+// comparison by a few ulps; the selection comparison is strict (<), so
+// skipped ties can never have replaced the incumbent either.
+func optimizeEnvMode(env *sramEnv, cfg Config, totalBits, wordBits int, prune bool) (*Result, error) {
+	var (
+		best, fastest, cur Result
+		haveBest, haveFast bool
+		bestObj            float64
+		evaluated, pruned  int
+	)
+	subWords, nSub := subWordChoices(wordBits)
+	// The wordline load and its driver chain depend only on the column
+	// count, which recurs across every row count of the enumeration;
+	// memoize the (expensive, pure) buffer-chain sizing per cols.
+	wlCache := make(map[int]wlEval, 16)
 
 	for rows := 16; rows <= 1024; rows *= 2 {
+		row := newRowEnv(env, rows)
 		for colMux := 1; colMux <= 32; colMux *= 2 {
-			for _, subWord := range subWords {
+			for _, subWord := range subWords[:nSub] {
 				cols := subWord * colMux
 				if cols < 16 || cols > 8192 {
 					continue
 				}
-				r, ok := evalSRAM(env, &cfg, totalBits, wordBits, rows, cols, colMux)
+				org, ok := planOrg(&cfg, totalBits, wordBits, rows, cols, colMux)
 				if !ok {
 					continue
 				}
-				if fastest == nil || r.AccessTime < fastest.AccessTime {
-					cp := r
-					fastest = &cp
-				}
-				if cfg.TargetCycle > 0 && r.CycleTime > cfg.TargetCycle {
+				if prune && haveBest && boundExceedsBest(env, &row, &cfg, &org, bestObj) {
+					pruned++
 					continue
 				}
-				o := objective(&cfg, &r)
-				if best == nil || o < bestObj {
-					cp := r
-					best, bestObj = &cp, o
+				evalSRAM(env, &row, &cfg, wordBits, &org, wlCache, &cur)
+				evaluated++
+				if !haveFast || cur.AccessTime < fastest.AccessTime {
+					fastest, haveFast = cur, true
+				}
+				if cfg.TargetCycle > 0 && cur.CycleTime > cfg.TargetCycle {
+					continue
+				}
+				o := objective(&cfg, &cur)
+				if !haveBest || o < bestObj {
+					best, bestObj, haveBest = cur, o, true
 				}
 			}
 		}
 	}
-	if best == nil {
-		if fastest == nil {
+	optOrgsEvaluated.Add(uint64(evaluated))
+	optOrgsPruned.Add(uint64(pruned))
+	if !haveBest {
+		if !haveFast {
 			return nil, guard.Infeasiblef(cfg.Name, "no feasible organization for %d bits", totalBits)
 		}
 		best = fastest
 	}
-	return best, nil
+	best.Pruned = pruned
+	out := best
+	return &out, nil
+}
+
+// pruneMargin pads the lower-bound comparisons: the bound sums a subset
+// of the evaluation's terms with slightly different association, so it
+// may sit a few ulps above the exact value. 1e-9 relative is ~6 orders
+// of magnitude above double-rounding noise and far below any real
+// objective gap between organizations.
+const pruneMargin = 1e-9
+
+// boundExceedsBest reports whether org provably cannot beat the
+// incumbent objective (or meet the timing target): its admissible
+// objective lower bound exceeds bestObj with margin.
+func boundExceedsBest(env *sramEnv, row *rowEnv, cfg *Config, org *orgPlan, bestObj float64) bool {
+	// Delay floor: decode + bitline + sense + column mux; omits the
+	// wordline, both H-tree traversals, and inter-bank routing.
+	delayLB := row.tDecode + row.tBitline + env.tSense + float64(ceilLog2(org.colMux))*0.5*env.fo4
+	if cfg.TargetCycle > 0 {
+		// Cycle floor: decode + read + sense (omits wordline and the
+		// 0.8*tBitline precharge term). An organization whose floor
+		// already misses the target can only ever serve as "fastest",
+		// which is moot once a feasible best exists.
+		if row.tDecode+row.tBitline+env.tSense > cfg.TargetCycle*(1+pruneMargin) {
+			return true
+		}
+	}
+	var objLB float64
+	switch cfg.Obj {
+	case OptEnergyDelay:
+		objLB = energyLB(env, row, org) * delayLB
+	case OptArea:
+		subW := float64(org.cols)*env.cellW + 40*env.f + float64(row.addrBits)*8*env.f
+		objLB = float64(org.subarrays) * (subW * row.subH) * arrayOverhead * float64(cfg.Banks)
+	case OptDelay:
+		objLB = delayLB
+	default: // OptED2
+		objLB = energyLB(env, row, org) * delayLB * delayLB
+	}
+	return objLB > bestObj*(1+pruneMargin)
+}
+
+// energyLB is the read-energy floor of an organization: bitline swing
+// plus sense energy of the active subarrays, omitting decode, H-tree,
+// and bank routing. The terms mirror evalSRAM's expressions exactly.
+func energyLB(env *sramEnv, row *rowEnv, org *orgPlan) float64 {
+	eBitlineRead := float64(org.cols) * row.cBL * env.vdd * env.vSwing
+	eSense := float64(org.subWord) * env.eSense1
+	return float64(org.activeSubs) * (eBitlineRead + eSense)
 }
 
 // subWordChoices yields the per-subarray output widths to consider: the
 // full word and power-of-two fractions of it (the word is then spread
-// across several active subarrays).
-func subWordChoices(wordBits int) []int {
-	choices := []int{wordBits}
+// across several active subarrays). The fixed-size return keeps the
+// enumeration allocation-free on the cold path.
+func subWordChoices(wordBits int) (choices [6]int, n int) {
+	choices[0] = wordBits
+	n = 1
 	for d := 2; d <= 8; d *= 2 {
 		if wordBits%d == 0 && wordBits/d >= 8 {
-			choices = append(choices, wordBits/d)
+			choices[n] = wordBits / d
+			n++
 		}
 	}
 	// Also allow wider subarrays than the word for very small words.
 	for m := 2; m <= 4; m *= 2 {
-		choices = append(choices, wordBits*m)
+		choices[n] = wordBits * m
+		n++
 	}
-	return choices
+	return choices, n
 }
 
-// evalSRAM computes PAT for one organization of a plain SRAM array.
-// cols = subWord*colMux columns per subarray; subWord bits leave each
-// active subarray per access. env carries the enumeration-invariant
-// derived parameters (see sramEnv).
-func evalSRAM(env *sramEnv, cfg *Config, totalBits, wordBits, rows, cols, colMux int) (Result, bool) {
-	per := &env.per
+// orgPlan is the integer skeleton of one candidate organization: the
+// feasibility screen (subarray count, active-subarray fit, the 4x
+// over-provisioning cap) needs no float math, so it runs before any
+// circuit evaluation or bound check.
+type orgPlan struct {
+	rows, cols, colMux    int
+	subWord, activeSubs   int
+	bitsPerSub, subarrays int
+	bankBits              int
+}
 
+func planOrg(cfg *Config, totalBits, wordBits, rows, cols, colMux int) (orgPlan, bool) {
 	bankBits := (totalBits + cfg.Banks - 1) / cfg.Banks
 	bitsPerSub := rows * cols
 	subarrays := (bankBits + bitsPerSub - 1) / bitsPerSub
 	if subarrays < 1 {
-		return Result{}, false
+		return orgPlan{}, false
 	}
 	subWord := cols / colMux
 	activeSubs := (wordBits + subWord - 1) / subWord
 	if activeSubs > subarrays {
-		return Result{}, false
+		return orgPlan{}, false
 	}
 	// Keep silly organizations out: don't allow more than 4x
 	// over-provisioned cells.
 	if float64(subarrays*bitsPerSub) > 4*float64(bankBits) {
-		return Result{}, false
+		return orgPlan{}, false
 	}
+	return orgPlan{
+		rows: rows, cols: cols, colMux: colMux,
+		subWord: subWord, activeSubs: activeSubs,
+		bitsPerSub: bitsPerSub, subarrays: subarrays,
+		bankBits: bankBits,
+	}, true
+}
 
-	cellW, cellH := env.cellW, env.cellH
+// rowEnv carries the evaluation terms that depend only on the row count
+// (and the shared env): decoder timing/energy, bitline RC, subarray
+// height, and the per-row periphery width terms. One rowEnv serves the
+// whole (colMux, subWord) inner enumeration for its row count, keeping
+// repeated transcendental and RC math out of the inner loop. Every field
+// is computed with exactly the expression evalSRAM previously inlined,
+// so hoisting cannot move a single bit.
+type rowEnv struct {
+	addrBits int
+	tDecode  float64 // predecode + final decode levels of FO4
+	eDecode0 float64 // decoder switching energy before the wordline chain
+	cBL      float64 // bitline capacitance
+	tBitline float64 // bitline swing time
+	subH     float64 // subarray height (sense amp + write driver strip)
+	wRowPeri float64 // wordline-driver periphery width term
+	wDecPeri float64 // decoder periphery width term
+}
+
+func newRowEnv(env *sramEnv, rows int) rowEnv {
+	per := &env.per
+	// Predecode + final decode: ~2 + log4(rows) logic levels of FO4.
+	addrBits := ceilLog2(rows)
+	// Energy: predecoders plus one fired row driver; approximated as a
+	// wire spanning the subarray height plus gate loads.
+	cDecode := float64(rows)*0.5*env.wmin*per.Dev.CgPerW + float64(rows)*env.cellH*env.localWire.CapPerM*0.5
+	cBLcell := env.accessW * per.Dev.CjPerW // drain of one access device
+	cBL := float64(rows)*cBLcell + float64(rows)*env.cellH*env.localWire.CapPerM
+	return rowEnv{
+		addrBits: addrBits,
+		tDecode:  (2 + float64(addrBits)/2) * env.fo4,
+		eDecode0: per.SwitchE(cDecode),
+		cBL:      cBL,
+		tBitline: cBL * env.vSwing / math.Max(env.iCell, 1e-12),
+		subH:     float64(rows)*env.cellH + 60*env.f, // sense amp + write driver strip
+		wRowPeri: float64(rows) * 4 * env.wmin,
+		wDecPeri: float64(addrBits) * 20 * env.wmin,
+	}
+}
+
+// arrayOverhead calibrates modeled macro area to published cache
+// footprints (e.g. Niagara's 3MB L2 at ~90 mm^2): real memory macros
+// land near 45% array efficiency once ECC bits, row/column redundancy,
+// BIST, and inter-subarray routing channels are accounted for.
+const arrayOverhead = 2.2
+
+// wlEval is one memoized wordline evaluation: load, driver chain, and
+// distributed-RC delay, all pure functions of the column count.
+type wlEval struct {
+	chain       circuit.Chain
+	wlWireDelay float64
+}
+
+// evalSRAM computes PAT for one feasible organization of a plain SRAM
+// array (org passed planOrg). cols = subWord*colMux columns per
+// subarray; subWord bits leave each active subarray per access. env and
+// row carry the enumeration-invariant and row-invariant derived
+// parameters; the result is written into *out so the enumeration loop
+// reuses one scratch value instead of copying the full struct per
+// candidate.
+func evalSRAM(env *sramEnv, row *rowEnv, cfg *Config, wordBits int, org *orgPlan, wlCache map[int]wlEval, out *Result) {
+	per := &env.per
+
+	rows, cols, colMux := org.rows, org.cols, org.colMux
+	subWord, activeSubs := org.subWord, org.activeSubs
+	bankBits, bitsPerSub, subarrays := org.bankBits, org.bitsPerSub, org.subarrays
+
+	cellW := env.cellW
 	localWire := env.localWire
 
 	f := env.f
 	wmin := env.wmin
 
 	// --- Wordline ---------------------------------------------------
-	cWL := float64(cols)*(2*env.accessW*per.Dev.CgPerW) + float64(cols)*cellW*localWire.CapPerM
-	wlChain := per.BufferChain(cWL)
-	// Distributed RC of the wordline itself: 0.69 * R_total * C_total/2.
-	wlWireDelay := 0.69 * (localWire.ResPerM * float64(cols) * cellW) * cWL / 2
-	tWordline := wlChain.Delay + wlWireDelay
+	wl, cached := wlCache[cols]
+	if !cached {
+		cWL := float64(cols)*(2*env.accessW*per.Dev.CgPerW) + float64(cols)*cellW*localWire.CapPerM
+		wl.chain = per.BufferChain(cWL)
+		// Distributed RC of the wordline itself: 0.69 * R_total * C_total/2.
+		wl.wlWireDelay = 0.69 * (localWire.ResPerM * float64(cols) * cellW) * cWL / 2
+		wlCache[cols] = wl
+	}
+	wlChain := wl.chain
+	tWordline := wlChain.Delay + wl.wlWireDelay
 
 	// --- Decoder ----------------------------------------------------
-	addrBits := ceilLog2(rows)
-	// Predecode + final decode: ~2 + log4(rows) logic levels of FO4.
-	tDecode := (2 + float64(addrBits)/2) * env.fo4
-	// Energy: predecoders plus one fired row driver; approximated as a
-	// wire spanning the subarray height plus gate loads.
-	cDecode := float64(rows)*0.5*wmin*per.Dev.CgPerW + float64(rows)*cellH*localWire.CapPerM*0.5
-	eDecode := per.SwitchE(cDecode) + wlChain.Energy
+	addrBits := row.addrBits
+	tDecode := row.tDecode
+	eDecode := row.eDecode0 + wlChain.Energy
 
 	// --- Bitline ----------------------------------------------------
-	cBLcell := env.accessW * per.Dev.CjPerW // drain of one access device
-	cBL := float64(rows)*cBLcell + float64(rows)*cellH*localWire.CapPerM
-	tBitline := cBL * env.vSwing / math.Max(env.iCell, 1e-12)
+	cBL := row.cBL
+	tBitline := row.tBitline
 	// Read energy: all columns of active subarrays swing by vSwing.
 	eBitlineRead := float64(cols) * cBL * env.vdd * env.vSwing
 	// Write: full differential swing on written columns only.
 	eBitlineWrite := float64(subWord) * cBL * env.vdd * env.vdd * 2 * 0.5
 
 	// --- Sense amps + column mux -------------------------------------
-	tSense := 2 * env.fo4
+	tSense := env.tSense
 	eSense := float64(subWord) * env.eSense1
 	tMux := float64(ceilLog2(colMux)) * 0.5 * env.fo4
 
 	// --- Subarray and bank geometry ----------------------------------
 	subW := float64(cols)*cellW + 40*f + float64(addrBits)*8*f // row decoder strip
-	subH := float64(rows)*cellH + 60*f                         // sense amp + write driver strip
+	subH := row.subH
 	subArea := subW * subH
-	// Real memory macros land near 45% array efficiency once ECC bits,
-	// row/column redundancy, BIST, and inter-subarray routing channels
-	// are accounted for; arrayOverhead calibrates modeled macro area to
-	// published cache footprints (e.g. Niagara's 3MB L2 at ~90 mm^2).
-	const arrayOverhead = 2.2
 	bankArea := float64(subarrays) * subArea * arrayOverhead
 	bankW := math.Sqrt(bankArea)
 	bankH := bankArea / bankW
@@ -506,14 +672,14 @@ func evalSRAM(env *sramEnv, cfg *Config, totalBits, wordBits, rows, cols, colMux
 	cellLeakGate := env.cellGatePerBit * allBits
 	// Periphery: one wordline driver per row, sense amps and write
 	// drivers per column, decoders.
-	periphW := float64(rows)*4*wmin + float64(cols)*8*wmin + float64(addrBits)*20*wmin
+	periphW := row.wRowPeri + float64(cols)*8*wmin + row.wDecPeri
 	periphW *= float64(subarrays * cfg.Banks)
 	periphLeakSub := env.periphSubPerW * periphW
 	periphLeakGate := env.periphGatePerW * periphW
 
 	totalArea := bankArea*float64(cfg.Banks) + bankRouteArea
 
-	res := Result{
+	*out = Result{
 		PAT: power.PAT{
 			Energy: power.Energy{Read: eRead, Write: eWrite},
 			Static: power.Static{
@@ -534,14 +700,17 @@ func evalSRAM(env *sramEnv, cfg *Config, totalBits, wordBits, rows, cols, colMux
 		ColMux:     colMux,
 		Banks:      cfg.Banks,
 	}
-	return res, true
 }
 
+// ceilLog2 is ceil(log2(x)) over non-negative ints: bits.Len(x-1) for
+// x >= 2. The integer form is exactly equal to the previous
+// math.Ceil(math.Log2(...)) for every enumerable input and keeps a
+// transcendental call out of the optimizer's inner loop.
 func ceilLog2(x int) int {
 	if x <= 1 {
 		return 0
 	}
-	return int(math.Ceil(math.Log2(float64(x))))
+	return bits.Len(uint(x - 1))
 }
 
 func maxInt(a, b int) int {

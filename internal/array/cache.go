@@ -108,5 +108,6 @@ func newCache(cfg Config, totalBits, wordBits int) (*Result, error) {
 	res.Width = res.Height
 	res.Rows, res.Cols, res.Subarrays, res.ColMux, res.Banks =
 		data.Rows, data.Cols, data.Subarrays, data.ColMux, data.Banks
+	res.Pruned = data.Pruned + tag.Pruned
 	return res, nil
 }

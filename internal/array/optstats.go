@@ -1,0 +1,50 @@
+package array
+
+import "sync/atomic"
+
+// Process-wide counters of the organization optimizer's enumeration
+// work. They only move on real (uncached) syntheses - a memoized result
+// re-runs nothing - so the pair measures actual cold-path effort, and
+// their delta over a sweep shows how much of the CACTI-style search the
+// branch-and-bound pruning is cutting.
+var (
+	optOrgsEvaluated atomic.Uint64
+	optOrgsPruned    atomic.Uint64
+)
+
+// OptimizerStats is a snapshot of the optimizer's enumeration counters.
+type OptimizerStats struct {
+	// Evaluated counts organizations that paid the full circuit
+	// evaluation (wordline chain, H-tree, leakage math).
+	Evaluated uint64
+	// Pruned counts organizations skipped by the admissible lower-bound
+	// test against the incumbent best.
+	Pruned uint64
+}
+
+// OptStats returns the current process-wide optimizer counters.
+func OptStats() OptimizerStats {
+	return OptimizerStats{
+		Evaluated: optOrgsEvaluated.Load(),
+		Pruned:    optOrgsPruned.Load(),
+	}
+}
+
+// Delta returns the counter movement since a previous snapshot,
+// attributing enumeration work to one sweep or serving window.
+func (s OptimizerStats) Delta(prev OptimizerStats) OptimizerStats {
+	return OptimizerStats{
+		Evaluated: s.Evaluated - prev.Evaluated,
+		Pruned:    s.Pruned - prev.Pruned,
+	}
+}
+
+// PruneRate is the fraction of enumerated organizations the bound
+// skipped (0 when nothing was enumerated).
+func (s OptimizerStats) PruneRate() float64 {
+	total := s.Evaluated + s.Pruned
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Pruned) / float64(total)
+}

@@ -2,6 +2,7 @@ package chip
 
 import (
 	"math"
+	"sync"
 
 	"mcpat/internal/cache"
 	"mcpat/internal/clock"
@@ -15,7 +16,7 @@ import (
 	"mcpat/internal/tech"
 )
 
-// Chip assembly as a registry fold.
+// Chip assembly as a staged registry fold.
 //
 // New walks the subsystems table in dependency order: every builder
 // synthesizes its subsystem through the memoized component layer
@@ -26,6 +27,17 @@ import (
 // area accumulated by everything built before them, but report before
 // the off-chip interfaces), which is why parts carry positions instead
 // of relying on build sequence.
+//
+// Stages encode the data dependencies: stage-0 subsystems are mutually
+// independent (each writes only its own Processor field, its own part
+// slot, and returns its area contribution), so the driver may run them
+// concurrently on a bounded worker pool. The fabric (stage 1) reads the
+// area accumulated by stage 0, and the clock network (stage 2) reads
+// the area including the fabric, so those run serially. Area
+// contributions are folded into builder.base in registry order
+// regardless of completion order, keeping the floating-point
+// accumulation — and therefore every downstream number — bit-identical
+// to a fully serial build.
 
 // Report positions. The order fixes the chip report's child sequence
 // and therefore the floating-point accumulation order of the rollup —
@@ -46,45 +58,158 @@ const (
 
 // subsystems is the assembly registry. Adding a subsystem to the chip
 // means adding a row here (and a position above), not editing New.
+// Builders return their component-area contribution; stage >= 1
+// builders that need finer-grained accumulation (the fabric adds router,
+// link, and cluster-bus areas as separate terms) fold into builder.base
+// directly and return 0 — they run serially with exclusive access.
 var subsystems = []struct {
 	name  string
-	build func(*builder) error
+	stage int // 0: independent; 1: reads stage-0 area; 2: reads stage-1 area
+	build func(*builder) (float64, error)
 }{
-	{"cores", buildCores},
-	{"l2", buildL2},
-	{"l3", buildL3},
-	{"fpu", buildFPU},
-	{"mc", buildMC},
-	{"niu", buildNIU},
-	{"pcie", buildPCIe},
-	{"fabric", buildFabric},
-	{"clock", buildClock},
-	{"other", buildOther},
+	{"cores", 0, buildCores},
+	{"l2", 0, buildL2},
+	{"l3", 0, buildL3},
+	{"fpu", 0, buildFPU},
+	{"mc", 0, buildMC},
+	{"niu", 0, buildNIU},
+	{"pcie", 0, buildPCIe},
+	{"fabric", 1, buildFabric},
+	{"clock", 2, buildClock},
+	{"other", 0, buildOther},
 }
 
 // builder is the transient assembly state threaded through the registry.
+// During the concurrent stage each builder touches only its own part
+// slot, its own Processor field, and the shared read-only cfg/node, so
+// no locking is needed.
 type builder struct {
 	p    *Processor
 	node *tech.Node
 	path string  // guard path prefix for error attribution
 	base float64 // accumulated component area (m^2), pre-overhead
-	part [numPos]*part
+	part [numPos]part
+	has  [numPos]bool
 }
 
 func (b *builder) add(pos int, comp component.Component, assign func(*Stats) component.Assignment) {
-	b.part[pos] = &part{comp: comp, assign: assign}
+	b.part[pos] = part{comp: comp, assign: assign}
+	b.has[pos] = true
 }
 
-// finish compacts the registered parts into report order.
+// finish compacts the registered parts into report order, sized exactly
+// so the report's child fold never regrows the slice.
 func (b *builder) finish() {
-	parts := make([]part, 0, numPos)
-	for _, pt := range b.part {
-		if pt != nil {
-			parts = append(parts, *pt)
+	n := 0
+	for _, ok := range b.has {
+		if ok {
+			n++
+		}
+	}
+	parts := make([]part, 0, n)
+	for i := range b.part {
+		if b.has[i] {
+			parts = append(parts, b.part[i])
 		}
 	}
 	b.p.parts = parts
 	b.p.baseArea = b.base
+}
+
+// runSubsystem invokes one registry builder behind its own
+// panic-containment boundary (a model fault inside a pooled worker
+// goroutine must surface as an error, not crash the process) and keeps
+// the in-flight gauge honest. The recovery path matches chip.New's, so
+// fault attribution is identical in serial and parallel builds.
+func runSubsystem(b *builder, i int) (area float64, err error) {
+	defer guard.Recover(&err, b.path)
+	synthInflight.Add(1)
+	defer synthInflight.Add(-1)
+	return subsystems[i].build(b)
+}
+
+// assemble drives the registry. workers bounds the stage-0 synthesis
+// parallelism; 1 reproduces the fully serial walk (including its
+// stop-at-first-error behavior). With several workers every stage-0
+// subsystem is built, results are folded and errors selected in
+// registry order, so both the report bits and the returned error match
+// the serial build; only wall-clock differs.
+func assemble(b *builder, workers int) error {
+	if workers < 2 {
+		for i := range subsystems {
+			area, err := runSubsystem(b, i)
+			if err != nil {
+				return err
+			}
+			if area != 0 {
+				b.base += area
+			}
+		}
+		return nil
+	}
+
+	type outcome struct {
+		area float64
+		err  error
+	}
+	outs := make([]outcome, len(subsystems))
+	stage0 := 0
+	for _, sub := range subsystems {
+		if sub.stage == 0 {
+			stage0++
+		}
+	}
+	if workers > stage0 {
+		workers = stage0
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				area, err := runSubsystem(b, i)
+				outs[i] = outcome{area: area, err: err}
+			}
+		}()
+	}
+	for i, sub := range subsystems {
+		if sub.stage == 0 {
+			jobs <- i
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Fold stage-0 areas and pick the first error in registry order —
+	// the same error a serial walk would have stopped at.
+	for i, sub := range subsystems {
+		if sub.stage != 0 {
+			continue
+		}
+		if outs[i].err != nil {
+			return outs[i].err
+		}
+		if outs[i].area != 0 {
+			b.base += outs[i].area
+		}
+	}
+	// Dependent stages run serially in registry order (fabric before
+	// clock) with exclusive access to the accumulated area.
+	for i, sub := range subsystems {
+		if sub.stage == 0 {
+			continue
+		}
+		area, err := runSubsystem(b, i)
+		if err != nil {
+			return err
+		}
+		if area != 0 {
+			b.base += area
+		}
+	}
+	return nil
 }
 
 // Shared-cache TDP traffic mix: at saturation, roughly 70% of shared
@@ -96,7 +221,7 @@ const (
 	cachePeakWriteFrac = 0.3
 )
 
-func buildCores(b *builder) error {
+func buildCores(b *builder) (float64, error) {
 	cfg := &b.p.Cfg
 	ccfg := cfg.Core
 	ccfg.Tech = b.node
@@ -108,7 +233,7 @@ func buildCores(b *builder) error {
 	}
 	cm, err := core.Synthesize(ccfg)
 	if err != nil {
-		return guard.Wrap(guard.ErrConfig, b.path+".core", err)
+		return 0, guard.Wrap(guard.ErrConfig, b.path+".core", err)
 	}
 	b.p.CoreModel = cm
 	if cfg.CorePeak != nil {
@@ -116,7 +241,7 @@ func buildCores(b *builder) error {
 	} else {
 		b.p.corePeak = core.PeakActivity(ccfg)
 	}
-	b.base += cm.Area() * float64(cfg.NumCores)
+	area := cm.Area() * float64(cfg.NumCores)
 
 	peak := b.p.corePeak
 	b.add(posCores,
@@ -124,7 +249,7 @@ func buildCores(b *builder) error {
 		func(s *Stats) component.Assignment {
 			return component.Assignment{Vec: core.ActivityPair{Peak: peak, Run: s.CoreRun}}
 		})
-	return nil
+	return area, nil
 }
 
 // chipCacheCfg completes a shared-cache template with the chip-wide
@@ -143,17 +268,16 @@ func chipCacheCfg(cfg *Config, cc *cache.Config, node *tech.Node) cache.Config {
 	return c
 }
 
-func buildL2(b *builder) error {
+func buildL2(b *builder) (float64, error) {
 	cfg := &b.p.Cfg
 	if cfg.L2 == nil {
-		return nil
+		return 0, nil
 	}
 	c, err := cache.Synthesize(chipCacheCfg(cfg, cfg.L2, b.node))
 	if err != nil {
-		return guard.Wrap(guard.ErrConfig, b.path+".l2", err)
+		return 0, guard.Wrap(guard.ErrConfig, b.path+".l2", err)
 	}
 	b.p.L2 = c
-	b.base += c.Area
 
 	// TDP access rate: limited both by the bank count and by the
 	// miss/traffic rate the cores can generate (~2 L2 accesses per core
@@ -167,20 +291,19 @@ func buildL2(b *builder) error {
 				Run:  power.Activity{Reads: s.L2Reads, Writes: s.L2Writes},
 			}
 		})
-	return nil
+	return c.Area, nil
 }
 
-func buildL3(b *builder) error {
+func buildL3(b *builder) (float64, error) {
 	cfg := &b.p.Cfg
 	if cfg.L3 == nil {
-		return nil
+		return 0, nil
 	}
 	c, err := cache.Synthesize(chipCacheCfg(cfg, cfg.L3, b.node))
 	if err != nil {
-		return guard.Wrap(guard.ErrConfig, b.path+".l3", err)
+		return 0, guard.Wrap(guard.ErrConfig, b.path+".l3", err)
 	}
 	b.p.L3 = c
-	b.base += c.Area
 
 	acc := cfg.L3PeakDuty * float64(minInt(c.Cfg().Banks, 2*cfg.NumCores)) * cfg.ClockHz
 	b.add(posL3,
@@ -191,21 +314,20 @@ func buildL3(b *builder) error {
 				Run:  power.Activity{Reads: s.L3Reads, Writes: s.L3Writes},
 			}
 		})
-	return nil
+	return c.Area, nil
 }
 
-func buildFPU(b *builder) error {
+func buildFPU(b *builder) (float64, error) {
 	cfg := &b.p.Cfg
 	if cfg.SharedFPUs <= 0 {
-		return nil
+		return 0, nil
 	}
 	pat, err := logic.FunctionalUnit(b.node, cfg.Dev, cfg.LongChannel, logic.FPU)
 	if err != nil {
-		return guard.At(err, b.path)
+		return 0, guard.At(err, b.path)
 	}
 	b.p.fpu = pat
 	n := float64(cfg.SharedFPUs)
-	b.base += pat.Area * n
 
 	hz := cfg.ClockHz
 	b.add(posFPU,
@@ -216,13 +338,13 @@ func buildFPU(b *builder) error {
 				Run:  power.Activity{Reads: s.FPOpsPerSec},
 			}
 		})
-	return nil
+	return pat.Area * n, nil
 }
 
-func buildMC(b *builder) error {
+func buildMC(b *builder) (float64, error) {
 	cfg := &b.p.Cfg
 	if cfg.MC == nil {
-		return nil
+		return 0, nil
 	}
 	m := *cfg.MC
 	m.Tech = b.node
@@ -230,10 +352,9 @@ func buildMC(b *builder) error {
 	m.LongChannel = cfg.LongChannel
 	ctl, err := mc.Synthesize(m)
 	if err != nil {
-		return guard.Wrap(guard.ErrConfig, b.path+".mc", err)
+		return 0, guard.Wrap(guard.ErrConfig, b.path+".mc", err)
 	}
 	b.p.mcCtl = ctl
-	b.base += ctl.Area
 
 	peakTxn := 0.0
 	if cfg.MC.PeakBandwidth > 0 {
@@ -247,13 +368,13 @@ func buildMC(b *builder) error {
 				Run:  power.Activity{Reads: s.MCAccesses * 0.6, Writes: s.MCAccesses * 0.4},
 			}
 		})
-	return nil
+	return ctl.Area, nil
 }
 
-func buildNIU(b *builder) error {
+func buildNIU(b *builder) (float64, error) {
 	cfg := &b.p.Cfg
 	if cfg.NIU == nil {
-		return nil
+		return 0, nil
 	}
 	n := *cfg.NIU
 	n.Tech = b.node
@@ -261,10 +382,9 @@ func buildNIU(b *builder) error {
 	n.LongChannel = cfg.LongChannel
 	pat, err := mc.SynthesizeNIU(n)
 	if err != nil {
-		return guard.Wrap(guard.ErrConfig, b.path+".niu", err)
+		return 0, guard.Wrap(guard.ErrConfig, b.path+".niu", err)
 	}
 	b.p.niu = &pat
-	b.base += pat.Area
 
 	peakBits := 2 * cfg.NIU.Bandwidth * float64(maxInt(cfg.NIU.Count, 1))
 	b.add(posNIU,
@@ -275,13 +395,13 @@ func buildNIU(b *builder) error {
 				Run:  power.Activity{Reads: s.NIUBitsPerSec},
 			}
 		})
-	return nil
+	return pat.Area, nil
 }
 
-func buildPCIe(b *builder) error {
+func buildPCIe(b *builder) (float64, error) {
 	cfg := &b.p.Cfg
 	if cfg.PCIe == nil {
-		return nil
+		return 0, nil
 	}
 	n := *cfg.PCIe
 	n.Tech = b.node
@@ -289,10 +409,9 @@ func buildPCIe(b *builder) error {
 	n.LongChannel = cfg.LongChannel
 	pat, err := mc.SynthesizePCIe(n)
 	if err != nil {
-		return guard.Wrap(guard.ErrConfig, b.path+".pcie", err)
+		return 0, guard.Wrap(guard.ErrConfig, b.path+".pcie", err)
 	}
 	b.p.pcie = &pat
-	b.base += pat.Area
 
 	lanes := float64(maxInt(cfg.PCIe.Lanes, 1))
 	gbps := cfg.PCIe.GbpsPerLane
@@ -308,10 +427,10 @@ func buildPCIe(b *builder) error {
 				Run:  power.Activity{Reads: s.PCIeBitsPerSec},
 			}
 		})
-	return nil
+	return pat.Area, nil
 }
 
-func buildFabric(b *builder) error {
+func buildFabric(b *builder) (float64, error) {
 	cfg := &b.p.Cfg
 	p := b.p
 	node := b.node
@@ -322,7 +441,7 @@ func buildFabric(b *builder) error {
 	case Mesh:
 		mx, my := cfg.NoC.MeshX, cfg.NoC.MeshY
 		if mx <= 0 || my <= 0 {
-			return guard.Configf(b.path+".noc", "mesh NoC requires MeshX/MeshY")
+			return 0, guard.Configf(b.path+".noc", "mesh NoC requires MeshX/MeshY")
 		}
 		// The router's local port fans out to the whole cluster: with
 		// clustering the router serves ClusterSize cores plus the L2
@@ -337,14 +456,14 @@ func buildFabric(b *builder) error {
 			VirtualChannels: cfg.NoC.VirtualChannels, BuffersPerVC: cfg.NoC.BuffersPerVC,
 			Clock: cfg.ClockHz,
 		}); err != nil {
-			return err
+			return 0, err
 		}
 		if p.link, err = interconnect.SynthesizeLink(interconnect.LinkConfig{
 			Tech: node, Dev: cfg.Dev, LongChannel: cfg.LongChannel,
 			Projection: cfg.WireProjection,
 			FlitBits:   cfg.NoC.FlitBits, Length: chipSide / float64(mx), Clock: cfg.ClockHz,
 		}); err != nil {
-			return err
+			return 0, err
 		}
 		if cfg.NoC.ClusterSize > 1 {
 			// Intra-cluster bus spanning one mesh tile, connecting the
@@ -354,7 +473,7 @@ func buildFabric(b *builder) error {
 				Bits: cfg.NoC.FlitBits, Length: chipSide / float64(mx),
 				Agents: cfg.NoC.ClusterSize + 2, Clock: cfg.ClockHz,
 			}); err != nil {
-				return err
+				return 0, err
 			}
 		}
 		nr := float64(mx * my)
@@ -383,7 +502,7 @@ func buildFabric(b *builder) error {
 			VirtualChannels: cfg.NoC.VirtualChannels, BuffersPerVC: cfg.NoC.BuffersPerVC,
 			Clock: cfg.ClockHz,
 		}); err != nil {
-			return err
+			return 0, err
 		}
 		// The ring snakes through the floorplan: total length ~2 chip
 		// perimeters, split evenly between stations.
@@ -393,7 +512,7 @@ func buildFabric(b *builder) error {
 			Projection: cfg.WireProjection,
 			FlitBits:   cfg.NoC.FlitBits, Length: ringLen / float64(stations), Clock: cfg.ClockHz,
 		}); err != nil {
-			return err
+			return 0, err
 		}
 		// Every flit traverses ~stations/4 hops on average, so per-router
 		// forwarding duty runs high at TDP.
@@ -413,7 +532,7 @@ func buildFabric(b *builder) error {
 			Bits: cfg.NoC.FlitBits, Length: chipSide,
 			Agents: cfg.NumCores + maxInt(1, banksOf(cfg.L2)), Clock: cfg.ClockHz,
 		}); err != nil {
-			return err
+			return 0, err
 		}
 		const peakDuty = 0.8
 		b.add(posFabric,
@@ -430,7 +549,7 @@ func buildFabric(b *builder) error {
 			InPorts: cfg.NumCores + 1, OutPorts: maxInt(1, banksOf(cfg.L2)) + 1,
 			Bits: cfg.NoC.FlitBits, SpanLength: 0.35 * chipSide,
 		}); err != nil {
-			return err
+			return 0, err
 		}
 		peakDuty := 0.5 * float64(cfg.NumCores) // port pairs busy at TDP
 		b.add(posFabric,
@@ -455,10 +574,10 @@ func buildFabric(b *builder) error {
 	case p.link != nil:
 		b.base += p.link.Area
 	}
-	return nil
+	return 0, nil
 }
 
-func buildClock(b *builder) error {
+func buildClock(b *builder) (float64, error) {
 	cfg := &b.p.Cfg
 	sinkMult := cfg.ClockSinkMult
 	if sinkMult <= 0 {
@@ -470,7 +589,7 @@ func buildClock(b *builder) error {
 		SinkMult: sinkMult,
 	})
 	if err != nil {
-		return err
+		return 0, err
 	}
 	b.p.clk = net
 
@@ -487,16 +606,16 @@ func buildClock(b *builder) error {
 			}
 			return a
 		})
-	return nil
+	return 0, nil
 }
 
-func buildOther(b *builder) error {
+func buildOther(b *builder) (float64, error) {
 	cfg := &b.p.Cfg
 	if cfg.OtherArea <= 0 {
-		return nil
+		return 0, nil
 	}
 	b.add(posOther,
 		&staticComponent{item: power.Item{Name: "Other(unmodeled)", Area: cfg.OtherArea}},
 		func(*Stats) component.Assignment { return component.Assignment{} })
-	return nil
+	return 0, nil
 }

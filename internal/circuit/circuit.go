@@ -24,34 +24,34 @@ func NewCtx(n *tech.Node, dt tech.DeviceType, longChannel bool) Ctx {
 }
 
 // Vdd returns the context supply voltage.
-func (c Ctx) Vdd() float64 { return c.Dev.Vdd }
+func (c *Ctx) Vdd() float64 { return c.Dev.Vdd }
 
 // SwitchE returns the energy drawn from the supply to switch capacitance
 // cap through a full output transition: 1/2 C V^2. Callers account for the
 // number of transitions per operation.
-func (c Ctx) SwitchE(cap float64) float64 { return 0.5 * cap * c.Dev.Vdd * c.Dev.Vdd }
+func (c *Ctx) SwitchE(cap float64) float64 { return 0.5 * cap * c.Dev.Vdd * c.Dev.Vdd }
 
 // FullSwingE returns C*V^2, the energy of a complete charge/discharge
 // cycle (e.g. a precharged bitline pair accessed every operation).
-func (c Ctx) FullSwingE(cap float64) float64 { return cap * c.Dev.Vdd * c.Dev.Vdd }
+func (c *Ctx) FullSwingE(cap float64) float64 { return cap * c.Dev.Vdd * c.Dev.Vdd }
 
 // InvCin returns the input capacitance of an inverter with NMOS width wn
 // and the standard 2:1 P:N ratio.
-func (c Ctx) InvCin(wn float64) float64 { return 3 * wn * c.Dev.CgPerW }
+func (c *Ctx) InvCin(wn float64) float64 { return 3 * wn * c.Dev.CgPerW }
 
 // InvCself returns the parasitic drain capacitance of the same inverter.
-func (c Ctx) InvCself(wn float64) float64 { return 3 * wn * c.Dev.CjPerW }
+func (c *Ctx) InvCself(wn float64) float64 { return 3 * wn * c.Dev.CjPerW }
 
 // InvDelay returns the Elmore delay of an inverter of NMOS width wn
 // driving load cload (s).
-func (c Ctx) InvDelay(wn, cload float64) float64 {
+func (c *Ctx) InvDelay(wn, cload float64) float64 {
 	r := c.Dev.REqN(wn)
 	return 0.69 * r * (cload + c.InvCself(wn))
 }
 
 // InvLeak returns the static power of one inverter of NMOS width wn at the
 // node temperature.
-func (c Ctx) InvLeak(wn float64) (subW, gateW float64) {
+func (c *Ctx) InvLeak(wn float64) (subW, gateW float64) {
 	wp := 2 * wn
 	isub := c.Dev.Ioff(wn, wp, c.Node.Temperature)
 	ig := c.Dev.Ig(wn + wp)
@@ -59,7 +59,7 @@ func (c Ctx) InvLeak(wn float64) (subW, gateW float64) {
 }
 
 // FO4 is the fanout-of-4 delay of this context.
-func (c Ctx) FO4() float64 {
+func (c *Ctx) FO4() float64 {
 	wn := c.Node.MinWidthN()
 	return 0.69 * c.Dev.REqN(wn) * (4*c.InvCin(wn) + c.InvCself(wn))
 }
@@ -89,14 +89,14 @@ type Chain struct {
 
 // transistorArea approximates layout area of a transistor of width w:
 // width times a 4F channel+contact pitch, doubled for wiring overhead.
-func (c Ctx) transistorArea(w float64) float64 {
+func (c *Ctx) transistorArea(w float64) float64 {
 	return 2 * w * 4 * c.Node.Feature
 }
 
 // BufferChain sizes a chain of inverters with stage effort ~4 to drive
 // cload starting from a minimum-size first stage, the standard driver
 // model for wordlines, predecoders, and output drivers.
-func (c Ctx) BufferChain(cload float64) Chain {
+func (c *Ctx) BufferChain(cload float64) Chain {
 	wmin := c.Node.MinWidthN()
 	cin := c.InvCin(wmin)
 	if cload <= cin {
@@ -144,7 +144,7 @@ type WireResult struct {
 // class and length and returns its delay/energy/leakage. For very short
 // wires (shorter than one optimal segment) the wire is driven directly by
 // a single buffer.
-func (c Ctx) RepeatedWire(w tech.Wire, length float64) WireResult {
+func (c *Ctx) RepeatedWire(w tech.Wire, length float64) WireResult {
 	if length <= 0 {
 		return WireResult{}
 	}
@@ -194,7 +194,7 @@ type DFF struct {
 
 // NewDFF returns the flip-flop model of this context: a standard
 // transmission-gate master/slave FF of roughly 20 minimum transistors.
-func (c Ctx) NewDFF() DFF {
+func (c *Ctx) NewDFF() DFF {
 	wmin := c.Node.MinWidthN()
 	// Clock drives 4 transmission gates + 2 local inverters: ~8 min widths.
 	clkCap := 8 * wmin * c.Dev.CgPerW
@@ -215,7 +215,7 @@ func (c Ctx) NewDFF() DFF {
 // PipelineWire pipelines a long repeated wire so each stage fits in the
 // given cycle time, returning the wire result plus the flip-flop overhead
 // per bit and the number of pipeline stages.
-func (c Ctx) PipelineWire(w tech.Wire, length, cycle float64) (WireResult, DFF, int) {
+func (c *Ctx) PipelineWire(w tech.Wire, length, cycle float64) (WireResult, DFF, int) {
 	res := c.RepeatedWire(w, length)
 	stages := 1
 	if cycle > 0 && res.Delay > cycle {
@@ -231,7 +231,7 @@ func (c Ctx) PipelineWire(w tech.Wire, length, cycle float64) (WireResult, DFF, 
 // latency and the inability to insert repeaters (the line is a single RC
 // span), which limits practical length. This is CACTI's low-swing wire
 // option, which McPAT applies to long, wide buses.
-func (c Ctx) LowSwingWire(w tech.Wire, length float64) WireResult {
+func (c *Ctx) LowSwingWire(w tech.Wire, length float64) WireResult {
 	if length <= 0 {
 		return WireResult{}
 	}

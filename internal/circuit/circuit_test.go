@@ -147,8 +147,10 @@ func TestPipelineWire(t *testing.T) {
 func TestWireDelayImprovesWithBetterDevices(t *testing.T) {
 	n := techtest.Node(45)
 	w := n.Wire(tech.Aggressive, tech.Global)
-	hp := NewCtx(n, tech.HP, false).RepeatedWire(w, 5e-3)
-	lstp := NewCtx(n, tech.LSTP, false).RepeatedWire(w, 5e-3)
+	hpCtx := NewCtx(n, tech.HP, false)
+	lstpCtx := NewCtx(n, tech.LSTP, false)
+	hp := hpCtx.RepeatedWire(w, 5e-3)
+	lstp := lstpCtx.RepeatedWire(w, 5e-3)
 	if hp.Delay >= lstp.Delay {
 		t.Errorf("HP repeaters (%v) should be faster than LSTP (%v)", hp.Delay, lstp.Delay)
 	}

@@ -147,6 +147,12 @@ type Result struct {
 	// only the NoC axes reuses whole synthesized cores and shared
 	// caches, showing up here as core/cache hits with a single miss.
 	Subsys component.CacheStats
+
+	// ArrayOpt reports the array-optimizer enumeration work done during
+	// the sweep (same delta semantics): organizations fully evaluated vs
+	// skipped by the branch-and-bound lower bound. Cached syntheses do
+	// no enumeration, so on a warm sweep both counters stay near zero.
+	ArrayOpt array.OptimizerStats
 }
 
 // Options tunes the parallel engine. The zero value (or nil) selects the
@@ -155,6 +161,15 @@ type Options struct {
 	// Workers bounds concurrent candidate evaluations.
 	// <= 0 selects runtime.GOMAXPROCS(0).
 	Workers int
+
+	// SynthWorkers bounds the subsystem-synthesis parallelism inside
+	// each candidate's cold chip assembly (cores, shared caches, MCs and
+	// I/O build concurrently; see chip.SetSynthWorkers). 0 selects the
+	// process default; 1 forces serial assembly. Serial and parallel
+	// assembly are bit-identical, so this only trades wall-clock against
+	// scheduling overhead when the sweep itself already saturates the
+	// machine.
+	SynthWorkers int
 
 	// CandidateTimeout is the per-candidate evaluation deadline; a
 	// candidate exceeding it is reported as a Failure wrapping
@@ -338,6 +353,7 @@ func SearchContext(ctx context.Context, p Params, space Space, cons Constraints,
 	specs := enumerate(space)
 	cacheBefore := array.Stats()
 	subsysBefore := component.Stats()
+	optBefore := array.OptStats()
 
 	type outcome struct {
 		cand Candidate
@@ -387,7 +403,7 @@ func SearchContext(ctx context.Context, p Params, space Space, cons Constraints,
 					continue // drain without evaluating
 				}
 				cand := specs[idx]
-				err := evalCandidate(ctx, o.CandidateTimeout, p, cons, obj, &cand)
+				err := evalCandidate(ctx, &o, p, cons, obj, &cand)
 				outs[idx] = outcome{cand: cand, err: err, ran: true}
 				reportProgress()
 				if err != nil && o.FailFast {
@@ -413,8 +429,9 @@ feed:
 	wg.Wait()
 
 	res := &Result{
-		Cache:  array.Stats().Delta(cacheBefore),
-		Subsys: component.Stats().Delta(subsysBefore),
+		Cache:    array.Stats().Delta(cacheBefore),
+		Subsys:   component.Stats().Delta(subsysBefore),
+		ArrayOpt: array.OptStats().Delta(optBefore),
 	}
 	for i := range outs {
 		if !outs[i].ran {
@@ -454,9 +471,9 @@ feed:
 // in a child goroutine so that cancellation and deadlines take effect
 // promptly even while the (CPU-bound) models are busy; a timed-out
 // evaluation is abandoned and its late result discarded.
-func evalCandidate(ctx context.Context, timeout time.Duration, p Params, cons Constraints, obj Objective, cand *Candidate) error {
+func evalCandidate(ctx context.Context, o *Options, p Params, cons Constraints, obj Objective, cand *Candidate) error {
 	cctx := ctx
-	if timeout > 0 {
+	if timeout := o.CandidateTimeout; timeout > 0 {
 		var cancel context.CancelFunc
 		cctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
@@ -470,7 +487,7 @@ func evalCandidate(ctx context.Context, timeout time.Duration, p Params, cons Co
 		c := *cand
 		err := func() (err error) {
 			defer guard.Recover(&err, c.name())
-			return evaluate(p, cons, obj, &c)
+			return evaluate(p, cons, obj, o.SynthWorkers, &c)
 		}()
 		ch <- evalOut{c, err}
 	}()
@@ -494,7 +511,7 @@ var testEvalHook atomic.Pointer[func(c *Candidate)]
 // cand.Feasible == false means the point was legitimately rejected
 // (malformed combination or budget violation); a non-nil error is a hard
 // failure of the models themselves.
-func evaluate(p Params, cons Constraints, obj Objective, cand *Candidate) error {
+func evaluate(p Params, cons Constraints, obj Objective, synthWorkers int, cand *Candidate) error {
 	if hook := testEvalHook.Load(); hook != nil {
 		(*hook)(cand)
 	}
@@ -503,7 +520,7 @@ func evaluate(p Params, cons Constraints, obj Objective, cand *Candidate) error 
 		cand.Reject = err.Error()
 		return nil // malformed point: infeasible, not fatal
 	}
-	proc, err := chip.New(cfg)
+	proc, err := chip.NewWithWorkers(cfg, synthWorkers)
 	if err != nil {
 		// Config/infeasibility errors are expected rejections of the
 		// point; internal faults and domain violations are not.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mcpat/internal/array"
+	"mcpat/internal/chip"
 	"mcpat/internal/component"
 )
 
@@ -37,6 +38,7 @@ type metrics struct {
 	start      time.Time
 	cacheBase  array.CacheStats
 	subsysBase component.CacheStats
+	optBase    array.OptimizerStats
 
 	inFlight atomic.Int64
 
@@ -61,6 +63,7 @@ func newMetrics() *metrics {
 		start:      time.Now(),
 		cacheBase:  array.Stats(),
 		subsysBase: component.Stats(),
+		optBase:    array.OptStats(),
 		requests:   make(map[string]map[string]uint64),
 		latency:    make(map[string]*histogram),
 	}
@@ -119,6 +122,14 @@ type MetricsSnapshot struct {
 	// caches, fabrics, memory controllers, clock networks) over the same
 	// window, with a per-kind breakdown.
 	Subsys SubsysCacheStatsJSON `json:"subsys_cache"`
+	// ArrayOpt reports array-optimizer enumeration work (evaluated vs
+	// pruned organizations) since the server started.
+	ArrayOpt ArrayOptStatsJSON `json:"array_optimizer"`
+	// SynthWorkers is the resolved per-evaluation subsystem-synthesis
+	// parallelism; SynthInflight is the number of subsystem builders
+	// executing right now (a point-in-time gauge).
+	SynthWorkers  int   `json:"synth_workers"`
+	SynthInflight int64 `json:"synth_inflight"`
 }
 
 func bucketLabel(i int) string {
@@ -142,8 +153,11 @@ func (m *metrics) snapshot() MetricsSnapshot {
 			Canceled:  m.jobsCanceled.Load(),
 			Rejected:  m.jobsRejected.Load(),
 		},
-		Cache:  newCacheStatsJSON(array.Stats().Delta(m.cacheBase)),
-		Subsys: newSubsysCacheStatsJSON(component.Stats().Delta(m.subsysBase)),
+		Cache:         newCacheStatsJSON(array.Stats().Delta(m.cacheBase)),
+		Subsys:        newSubsysCacheStatsJSON(component.Stats().Delta(m.subsysBase)),
+		ArrayOpt:      newArrayOptStatsJSON(array.OptStats().Delta(m.optBase)),
+		SynthWorkers:  chip.SynthWorkers(),
+		SynthInflight: chip.SynthInflight(),
 	}
 	if m.queueDepth != nil {
 		snap.Jobs.QueueDepth = m.queueDepth()

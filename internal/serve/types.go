@@ -231,6 +231,23 @@ type KindStatsJSON struct {
 	Bypassed uint64 `json:"bypassed,omitempty"`
 }
 
+// ArrayOptStatsJSON is the wire form of the array-optimizer enumeration
+// counters: organizations fully evaluated vs skipped by the
+// branch-and-bound lower bound during cold synthesis.
+type ArrayOptStatsJSON struct {
+	Evaluated uint64  `json:"evaluated"`
+	Pruned    uint64  `json:"pruned"`
+	PruneRate float64 `json:"prune_rate"`
+}
+
+func newArrayOptStatsJSON(os array.OptimizerStats) ArrayOptStatsJSON {
+	return ArrayOptStatsJSON{
+		Evaluated: os.Evaluated,
+		Pruned:    os.Pruned,
+		PruneRate: os.PruneRate(),
+	}
+}
+
 func newSubsysCacheStatsJSON(cs component.CacheStats) SubsysCacheStatsJSON {
 	tot := cs.Total()
 	out := SubsysCacheStatsJSON{
@@ -267,6 +284,9 @@ type DSEReport struct {
 	// cores, caches, fabrics, memory controllers, and clock networks
 	// served from the component cache instead of being re-synthesized.
 	Subsys SubsysCacheStatsJSON `json:"subsys_cache"`
+	// ArrayOpt reports the array-optimizer enumeration work the sweep's
+	// cold syntheses did (and how much the pruning bound skipped).
+	ArrayOpt ArrayOptStatsJSON `json:"array_optimizer"`
 }
 
 // NewDSEReport converts an engine result into the shared wire form.
@@ -278,6 +298,7 @@ func NewDSEReport(res *explore.Result, obj explore.Objective) *DSEReport {
 		Candidates: make([]DSECandidate, 0, len(res.Candidates)),
 		Cache:      newCacheStatsJSON(res.Cache),
 		Subsys:     newSubsysCacheStatsJSON(res.Subsys),
+		ArrayOpt:   newArrayOptStatsJSON(res.ArrayOpt),
 	}
 	for _, c := range res.Candidates {
 		rep.Candidates = append(rep.Candidates, newDSECandidate(c))

@@ -1,0 +1,127 @@
+package mcpat_test
+
+// Bit-identity contract for parallel chip assembly: a chip built with
+// the stage-0 subsystem builders fanned out across a worker pool must
+// produce a report tree byte-for-byte equal to a fully serial build.
+// Both synthesis caches are disabled throughout so every build takes
+// the true cold path through the pool, and the stress variant runs
+// several whole-chip builds concurrently under -race to prove the
+// pool, the in-flight gauge, and the builders share no hidden state.
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"mcpat"
+)
+
+// serialColdReports builds every validation target fully serially with
+// both synthesis caches disabled — the ground-truth reference.
+func serialColdReports(t *testing.T) map[string]*mcpat.Report {
+	t.Helper()
+	prev := mcpat.SetSynthWorkers(1)
+	defer mcpat.SetSynthWorkers(prev)
+	return uncachedReports(t)
+}
+
+func TestParallelAssemblyBitIdentical(t *testing.T) {
+	ref := serialColdReports(t)
+
+	prevArr := mcpat.SetArraySynthCache(false)
+	prevSub := mcpat.SetSubsysSynthCache(false)
+	prevW := mcpat.SetSynthWorkers(8)
+	defer func() {
+		mcpat.SetArraySynthCache(prevArr)
+		mcpat.SetSubsysSynthCache(prevSub)
+		mcpat.SetSynthWorkers(prevW)
+	}()
+
+	for _, target := range mcpat.ValidationTargets() {
+		res, err := mcpat.Validate(target)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", target.Ref.Name, err)
+		}
+		if !reflect.DeepEqual(res.Report, ref[target.Ref.Name]) {
+			t.Errorf("%s: parallel cold report differs from serial reference",
+				target.Ref.Name)
+		}
+	}
+	if n := mcpat.SynthInflight(); n != 0 {
+		t.Errorf("SynthInflight = %d after all builds returned; gauge leaked", n)
+	}
+}
+
+// TestParallelAssemblyConcurrentStress overlaps whole-chip parallel
+// builds from several goroutines — each build fans out its own stage-0
+// pool — with caches bypassed so nothing is shared but the model code
+// itself. Run under -race in CI.
+func TestParallelAssemblyConcurrentStress(t *testing.T) {
+	ref := serialColdReports(t)
+
+	prevArr := mcpat.SetArraySynthCache(false)
+	prevSub := mcpat.SetSubsysSynthCache(false)
+	prevW := mcpat.SetSynthWorkers(8)
+	defer func() {
+		mcpat.SetArraySynthCache(prevArr)
+		mcpat.SetSubsysSynthCache(prevSub)
+		mcpat.SetSynthWorkers(prevW)
+	}()
+
+	const builders = 4
+	var wg sync.WaitGroup
+	errs := make(chan string, builders)
+	for w := 0; w < builders; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, target := range mcpat.ValidationTargets() {
+				res, err := mcpat.Validate(target)
+				if err != nil {
+					errs <- target.Ref.Name + ": " + err.Error()
+					return
+				}
+				if !reflect.DeepEqual(res.Report, ref[target.Ref.Name]) {
+					errs <- target.Ref.Name + ": concurrent parallel report differs from serial reference"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+	if n := mcpat.SynthInflight(); n != 0 {
+		t.Errorf("SynthInflight = %d after stress; gauge leaked", n)
+	}
+}
+
+// TestParallelAssemblyErrorParity pins that a subsystem failure
+// surfaces as the same error whether the failing builder ran on the
+// pool or inline: parallel assembly selects the first error in registry
+// order, which is exactly the error a serial walk stops at.
+func TestParallelAssemblyErrorParity(t *testing.T) {
+	cfg := mcpat.ValidationTargets()[0].Chip
+	l2 := *cfg.L2
+	l2.Bytes = -1 // capacity is required; this fails inside the L2 builder
+	cfg.L2 = &l2
+
+	prevW := mcpat.SetSynthWorkers(1)
+	_, serialErr := mcpat.New(cfg)
+	mcpat.SetSynthWorkers(8)
+	_, parallelErr := mcpat.New(cfg)
+	mcpat.SetSynthWorkers(prevW)
+
+	if serialErr == nil || parallelErr == nil {
+		t.Fatalf("poisoned L2 config did not fail: serial=%v parallel=%v", serialErr, parallelErr)
+	}
+	if serialErr.Error() != parallelErr.Error() {
+		t.Errorf("error mismatch:\n  serial:   %v\n  parallel: %v", serialErr, parallelErr)
+	}
+	if !strings.Contains(parallelErr.Error(), "l2") && !strings.Contains(parallelErr.Error(), "L2") {
+		t.Errorf("parallel error lost subsystem attribution: %v", parallelErr)
+	}
+}
