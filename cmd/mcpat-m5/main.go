@@ -25,7 +25,11 @@ func main() {
 		printLevel = flag.Int("print_level", 1, "report depth (-1 = unlimited)")
 		asJSON     = flag.Bool("json", false, "emit the report as JSON")
 	)
+	cacheDir, cacheSize := cliutil.CacheFlags(flag.CommandLine)
 	flag.Parse()
+	if closeCache := cliutil.EnablePersistentCache(*cacheDir, *cacheSize); closeCache != nil {
+		defer closeCache()
+	}
 	if *infile == "" || *statsFile == "" {
 		flag.Usage()
 		cliutil.Usagef("mcpat-m5", "-infile and -stats are required")

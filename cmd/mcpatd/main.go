@@ -7,6 +7,8 @@
 //	POST   /v1/evaluate   synchronous single-chip evaluation
 //	                      (EvaluateRequest JSON, or McPAT-style XML with
 //	                      an XML content type)
+//	POST   /v1/batch      evaluate many configs in one request, sharing
+//	                      one warm cache generation
 //	POST   /v1/dse        submit an async design-space sweep; 202 + job id
 //	GET    /v1/jobs       job summaries
 //	GET    /v1/jobs/{id}  job status / progress / result
@@ -20,6 +22,13 @@
 // running jobs are canceled (their partial results stay pollable until
 // the process exits), and in-flight responses flush before exit,
 // bounded by -drain-timeout.
+//
+// With -journal the job store is durable: accepted DSE jobs are
+// journaled (fsynced) before the 202 response, and jobs that were
+// queued or running when the process died — SIGKILL included — are
+// re-run with their original ids on the next start. With -cache-dir the
+// synthesis caches gain a crash-safe disk tier shared with the CLIs, so
+// a restarted daemon warm-starts instead of re-synthesizing.
 //
 // Example:
 //
@@ -41,6 +50,7 @@ import (
 	"time"
 
 	"mcpat"
+	"mcpat/internal/cliutil"
 )
 
 func main() {
@@ -53,12 +63,17 @@ func main() {
 		jobQueue     = flag.Int("job-queue", 16, "queued DSE jobs before shedding with 429")
 		jobRetention = flag.Int("job-retention", 64, "finished jobs kept for polling")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
+		journalPath  = flag.String("journal", "", "job journal file: queued/running DSE jobs survive restarts (empty = not durable)")
 		quiet        = flag.Bool("quiet", false, "suppress per-request logging")
 	)
+	cacheDir, cacheSize := cliutil.CacheFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *synthWorkers > 0 {
 		mcpat.SetSynthWorkers(*synthWorkers)
+	}
+	if closeCache := cliutil.EnablePersistentCache(*cacheDir, *cacheSize); closeCache != nil {
+		defer closeCache()
 	}
 
 	logf := log.Printf
@@ -71,6 +86,7 @@ func main() {
 		JobWorkers:     *jobWorkers,
 		JobQueueDepth:  *jobQueue,
 		JobRetention:   *jobRetention,
+		JournalPath:    *journalPath,
 		Logf:           logf,
 	})
 

@@ -58,7 +58,10 @@ var memo memoCache
 type CacheStats struct {
 	// Hits counts solves served from the cache (including Shared).
 	Hits uint64
-	// Misses counts real synthesis runs that populated the cache.
+	// Misses counts memory-tier misses that populated the cache: real
+	// synthesis runs, plus loads hydrated from the disk tier when a
+	// persistent cache directory is configured (the disk tier keeps its
+	// own hit/miss counters; see internal/persist).
 	Misses uint64
 	// Shared counts hits that joined an in-flight solve started by a
 	// concurrent caller instead of waiting on a completed entry - the
@@ -196,6 +199,20 @@ func cachedSynthesize(cfg Config, totalBits, wordBits int) (*Result, error) {
 		close(e.done)
 	}()
 
+	// Disk tier: only the flight owner consults it, preserving
+	// single-flight across memory -> disk -> synthesize. A verified disk
+	// entry hydrates the memory cache exactly like a synthesis would
+	// (counted as a memory-tier miss; the disk tier keeps its own hit
+	// counters); any disk problem is a miss and falls through to the
+	// cold solve below.
+	if res := diskLoad(&key); res != nil {
+		completed = true
+		memo.misses.Add(1)
+		e.res = res
+		close(e.done)
+		return res.clone(), nil
+	}
+
 	res, err := synthesize(cfg, totalBits, wordBits)
 	completed = true
 	if err != nil {
@@ -209,6 +226,10 @@ func cachedSynthesize(cfg Config, totalBits, wordBits int) (*Result, error) {
 	memo.misses.Add(1)
 	e.res = res
 	close(e.done)
+	// Publish to the disk tier so future processes warm-start. Runs
+	// after waiters are released; failures are counted by the store and
+	// never surface here.
+	diskStore(&key, res)
 	return res.clone(), nil
 }
 

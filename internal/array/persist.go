@@ -1,0 +1,122 @@
+package array
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"math"
+
+	"mcpat/internal/persist"
+)
+
+// Disk tier of the array synthesis cache.
+//
+// The in-memory memo (memo.go) consults persist.Default() on every
+// miss, inside the single-flight owner path: memory -> disk ->
+// synthesize, with exactly one goroutine per key walking the tiers.
+// Disk entries are keyed by the canonical Key's explicit binary
+// encoding (the same identity the memory tier uses: normalized config
+// plus tech-node value fingerprint) and carry the gob-serialized
+// Result. Gob preserves float64 bit patterns exactly, so a
+// disk-hydrated Result is bit-identical to the Result the publishing
+// process synthesized — the equivalence tests pin this at the array,
+// chip, and validation-target levels.
+//
+// The namespace carries a version; changing Key or Result shape must
+// bump it so stale entries from older binaries strand (and age out via
+// eviction) instead of decoding wrongly.
+
+// arrayNS is the disk namespace of array synthesis results.
+const arrayNS = "array.v1"
+
+// encodeKey serializes the canonical Key deterministically. Explicit
+// field-by-field binary encoding (not gob, not fmt) so the on-disk
+// identity never depends on reflection ordering or printf formatting.
+func (k *Key) encodeKey() []byte {
+	buf := make([]byte, 0, 26*8)
+	u := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
+	i := func(v int) { u(uint64(int64(v))) }
+	b := func(v bool) {
+		if v {
+			u(1)
+		} else {
+			u(0)
+		}
+	}
+	u(k.TechFP)
+	u(uint64(k.Periph))
+	u(uint64(k.Cell))
+	b(k.LongChannel)
+	i(k.Bytes)
+	i(k.Entries)
+	i(k.EntryBits)
+	i(k.WordBits)
+	i(k.Assoc)
+	i(k.TagBits)
+	i(k.Banks)
+	i(k.RWPorts)
+	i(k.RdPorts)
+	i(k.WrPorts)
+	i(k.SearchPorts)
+	u(uint64(k.CellKind))
+	u(math.Float64bits(k.TargetCycle))
+	u(uint64(k.Obj))
+	b(k.Sequential)
+	return buf
+}
+
+// encodeResult serializes a synthesized Result for the disk tier.
+func encodeResult(res *Result) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(res); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeResult deserializes a disk entry's payload. The store already
+// verified framing and checksum; a decode error here means codec skew
+// and is treated as a miss by the caller.
+func decodeResult(data []byte) (*Result, error) {
+	var res Result
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// diskLoad returns the disk tier's Result for key, or nil. Called only
+// by the single-flight owner of a memory miss.
+func diskLoad(key *Key) *Result {
+	store := persist.Default()
+	if store == nil {
+		return nil
+	}
+	data, ok := store.Get(arrayNS, key.encodeKey())
+	if !ok {
+		return nil
+	}
+	res, err := decodeResult(data)
+	if err != nil {
+		// Framing was valid but the payload does not decode: a codec
+		// version skew that slipped past the namespace version. Treat as
+		// a miss; cold synthesis will republish the current shape.
+		return nil
+	}
+	return res
+}
+
+// diskStore publishes a freshly synthesized Result to the disk tier.
+// Never fails the caller: a dropped write only costs a future process
+// one cold synthesis.
+func diskStore(key *Key, res *Result) {
+	store := persist.Default()
+	if store == nil {
+		return
+	}
+	data, err := encodeResult(res)
+	if err != nil {
+		return
+	}
+	store.Put(arrayNS, key.encodeKey(), data)
+}

@@ -30,7 +30,10 @@ func Synthesize(cfg Config) (*Cache, error) {
 	if !key.Cfg.Directory {
 		key.Cfg.Sharers = 0 // unread without a directory
 	}
-	return component.Memoize(component.KindCache, key, func() (*Cache, error) {
+	// The disk tier (active only when a persistent cache directory is
+	// configured) round-trips the synthesized cache through the codec in
+	// persist.go; norm supplies the *tech.Node to reattach on decode.
+	return component.MemoizePersist(component.KindCache, key, persistCodec(key, norm), func() (*Cache, error) {
 		return New(cfg)
 	})
 }

@@ -1,0 +1,61 @@
+package cliutil
+
+// Shared -cache-dir / -cache-size handling for the cmd/* binaries.
+// Every tool accepts the same pair of flags, opens the persistent
+// synthesis cache the same way, and degrades identically: a directory
+// that cannot be used is a one-line warning and an in-memory run, never
+// a failed invocation. mcpatd and the CLIs can point at the same
+// directory concurrently — the store coordinates through atomic renames
+// and advisory file locks.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mcpat/internal/persist"
+)
+
+// CacheFlags registers the shared persistent-cache flags on fs and
+// returns the destinations. Call EnablePersistentCache with them after
+// flag parsing.
+func CacheFlags(fs *flag.FlagSet) (dir *string, sizeMB *int64) {
+	dir = fs.String("cache-dir", "",
+		"directory for the persistent synthesis cache (empty = in-memory only)")
+	sizeMB = fs.Int64("cache-size", persist.DefaultMaxBytes>>20,
+		"persistent cache size budget in MiB (0 = unlimited)")
+	return dir, sizeMB
+}
+
+// EnablePersistentCache opens the disk cache at dir and installs it as
+// the process default, so every later synthesis reads through and
+// publishes to it. An empty dir is a no-op. An unusable dir (no
+// permission, path is a file, disk gone) warns on stderr and returns
+// nil: the run proceeds in-memory. The returned closer releases the
+// store (flushes nothing — writes are already durable) and may be nil.
+func EnablePersistentCache(dir string, sizeMB int64) func() {
+	if dir == "" {
+		return nil
+	}
+	maxBytes := sizeMB << 20
+	if sizeMB <= 0 {
+		maxBytes = -1 // unlimited
+	}
+	store, err := persist.Open(persist.Options{
+		Dir:      dir,
+		MaxBytes: maxBytes,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "warning: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr,
+			"warning: persistent cache disabled (running in-memory): %v\n", err)
+		return nil
+	}
+	prev := persist.SetDefault(store)
+	return func() {
+		persist.SetDefault(prev)
+		store.Close()
+	}
+}

@@ -1,0 +1,113 @@
+package cliutil
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mcpat/internal/persist"
+)
+
+func TestCacheFlagsRegistered(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	dir, sizeMB := CacheFlags(fs)
+	if err := fs.Parse([]string{"-cache-dir", "/tmp/c", "-cache-size", "64"}); err != nil {
+		t.Fatal(err)
+	}
+	if *dir != "/tmp/c" || *sizeMB != 64 {
+		t.Fatalf("parsed dir=%q size=%d", *dir, *sizeMB)
+	}
+	// Defaults: no dir, 1 GiB budget.
+	fs2 := flag.NewFlagSet("y", flag.ContinueOnError)
+	dir2, size2 := CacheFlags(fs2)
+	fs2.Parse(nil)
+	if *dir2 != "" || *size2 != persist.DefaultMaxBytes>>20 {
+		t.Fatalf("defaults dir=%q size=%d", *dir2, *size2)
+	}
+}
+
+func TestEnablePersistentCacheEmptyDirNoop(t *testing.T) {
+	if closer := EnablePersistentCache("", 0); closer != nil {
+		t.Fatal("empty dir must be a no-op")
+	}
+	if persist.DefaultStats().Enabled {
+		t.Fatal("no store should be installed")
+	}
+}
+
+func TestEnablePersistentCacheInstallsDefault(t *testing.T) {
+	closer := EnablePersistentCache(t.TempDir(), 16)
+	if closer == nil {
+		t.Fatal("usable dir must install a store")
+	}
+	defer closer()
+	if !persist.DefaultStats().Enabled {
+		t.Fatal("store not installed as process default")
+	}
+	closer()
+	if persist.DefaultStats().Enabled {
+		t.Fatal("closer must uninstall the store")
+	}
+}
+
+// TestEnablePersistentCacheDegradesOnMisconfiguration: a cache path
+// that is a regular file must warn on stderr and return nil — the run
+// proceeds in-memory, it never fails.
+func TestEnablePersistentCacheDegradesOnMisconfiguration(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldStderr := os.Stderr
+	os.Stderr = w
+	closer := EnablePersistentCache(path, 0)
+	w.Close()
+	os.Stderr = oldStderr
+
+	buf := make([]byte, 4096)
+	n, _ := r.Read(buf)
+	r.Close()
+	warning := string(buf[:n])
+
+	if closer != nil {
+		closer()
+		t.Fatal("misconfigured dir must not install a store")
+	}
+	if !strings.Contains(warning, "warning") || !strings.Contains(warning, "in-memory") {
+		t.Fatalf("expected an in-memory degradation warning on stderr, got %q", warning)
+	}
+	if persist.DefaultStats().Enabled {
+		t.Fatal("degraded run must stay in-memory")
+	}
+}
+
+// TestPersistentCacheSharedBetweenProcesses: two stores (standing in
+// for mcpatd and a CLI) on one directory — writes from one are reads
+// for the other, with the flock coordinating eviction only.
+func TestPersistentCacheSharedBetweenProcesses(t *testing.T) {
+	dir := t.TempDir()
+	closeA := EnablePersistentCache(dir, 16)
+	if closeA == nil {
+		t.Fatal("store A failed to open")
+	}
+	a := persist.Default()
+	a.Put("shared", []byte("key"), []byte("value"))
+	closeA()
+
+	closeB := EnablePersistentCache(dir, 16)
+	if closeB == nil {
+		t.Fatal("store B failed to open")
+	}
+	defer closeB()
+	got, ok := persist.Default().Get("shared", []byte("key"))
+	if !ok || string(got) != "value" {
+		t.Fatalf("store B missed store A's entry: %q %v", got, ok)
+	}
+}

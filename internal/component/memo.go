@@ -90,6 +90,17 @@ func shardOf(k memoKey) *memoShard {
 // inputs (see the package rules above). The returned value is shared:
 // callers must treat it as immutable.
 func Memoize[T any](kind Kind, key any, synth func() (T, error)) (T, error) {
+	return MemoizePersist(kind, key, nil, synth)
+}
+
+// MemoizePersist is Memoize extended with a disk tier: when a
+// persistent cache is configured (persist.SetDefault) and pc is
+// non-nil, the single-flight owner of a memory miss first tries to
+// hydrate the value from disk, and publishes freshly synthesized
+// values back. Disk problems of every kind degrade to cold synthesis.
+// A disk-hydrated value populates the memory cache and counts as a
+// memory-tier miss (the disk tier keeps its own counters).
+func MemoizePersist[T any](kind Kind, key any, pc *PersistCodec, synth func() (T, error)) (T, error) {
 	c := &memo.kinds[kind]
 	if memo.disabled.Load() {
 		c.bypassed.Add(1)
@@ -141,6 +152,16 @@ func Memoize[T any](kind Kind, key any, synth func() (T, error)) (T, error) {
 		close(e.done)
 	}()
 
+	// Disk tier: only the flight owner consults it, preserving
+	// single-flight across memory -> disk -> synthesize.
+	if val, ok := diskLoad[T](pc); ok {
+		completed = true
+		c.misses.Add(1)
+		e.val = val
+		close(e.done)
+		return val, nil
+	}
+
 	val, err := synth()
 	completed = true
 	if err != nil {
@@ -155,6 +176,9 @@ func Memoize[T any](kind Kind, key any, synth func() (T, error)) (T, error) {
 	c.misses.Add(1)
 	e.val = val
 	close(e.done)
+	// Publish to the disk tier so future processes warm-start; runs
+	// after waiters are released and never fails the caller.
+	diskPublish(pc, val)
 	return val, nil
 }
 
@@ -171,7 +195,10 @@ func (*panickedError) Error() string { return "component: shared synthesis panic
 type KindStats struct {
 	// Hits counts syntheses served from the cache (including Shared).
 	Hits uint64
-	// Misses counts real synthesis runs that populated the cache.
+	// Misses counts memory-tier misses that populated the cache: real
+	// synthesis runs, plus values hydrated from the disk tier for kinds
+	// that register a PersistCodec (the disk tier keeps its own
+	// counters; see internal/persist).
 	Misses uint64
 	// Shared counts hits that joined an in-flight synthesis started by
 	// a concurrent caller — the single-flight deduplications.

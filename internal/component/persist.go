@@ -1,0 +1,78 @@
+package component
+
+import "mcpat/internal/persist"
+
+// Disk tier of the subsystem synthesis cache.
+//
+// Subsystem values are arbitrary Go structs (a core with twenty arrays,
+// a banked cache), so unlike the array tier there is no universal
+// serialization. Subsystem packages that can round-trip their value
+// supply a PersistCodec per call; MemoizePersist then extends the
+// single-flight walk to memory -> disk -> synthesize for that kind.
+// Kinds without a codec simply stop at the memory tier — their
+// re-synthesis is already cheap when the array tier underneath is
+// disk-warm, because a subsystem build decomposes into array solves
+// (all disk hits) plus fast analytic logic.
+
+// PersistCodec serializes one memoized subsystem for the disk tier.
+// The closures are built per call, so Decode may capture live context
+// the serialized form deliberately omits (the caller's *tech.Node, for
+// example — identified on disk by its value fingerprint inside Key).
+type PersistCodec struct {
+	// NS is the disk namespace, which must embed a format version
+	// ("subsys.cache.v1"): bump it whenever Key or value encoding
+	// changes so stale entries strand instead of decoding wrongly.
+	NS string
+	// Key returns the deterministic byte encoding of the memo key.
+	Key func() ([]byte, error)
+	// Encode serializes the synthesized value.
+	Encode func(v any) ([]byte, error)
+	// Decode reverses Encode. A decode failure is treated as a miss
+	// (cold synthesis republishes); it must never panic.
+	Decode func(data []byte) (any, error)
+}
+
+// diskLoad returns the decoded disk entry for the codec's key, or nil.
+// Called only by the single-flight owner of a memory miss.
+func diskLoad[T any](pc *PersistCodec) (T, bool) {
+	var zero T
+	store := persist.Default()
+	if pc == nil || store == nil {
+		return zero, false
+	}
+	kb, err := pc.Key()
+	if err != nil {
+		return zero, false
+	}
+	data, ok := store.Get(pc.NS, kb)
+	if !ok {
+		return zero, false
+	}
+	v, err := pc.Decode(data)
+	if err != nil {
+		return zero, false
+	}
+	typed, ok := v.(T)
+	if !ok {
+		return zero, false
+	}
+	return typed, true
+}
+
+// diskPublish stores a freshly synthesized value. Never fails the
+// caller.
+func diskPublish(pc *PersistCodec, v any) {
+	store := persist.Default()
+	if pc == nil || store == nil {
+		return
+	}
+	kb, err := pc.Key()
+	if err != nil {
+		return
+	}
+	data, err := pc.Encode(v)
+	if err != nil {
+		return
+	}
+	store.Put(pc.NS, kb, data)
+}

@@ -35,6 +35,7 @@ import (
 	"mcpat/internal/guard"
 	"mcpat/internal/mc"
 	"mcpat/internal/perfsim"
+	"mcpat/internal/persist"
 )
 
 // Space enumerates the design axes. Empty slices take single defaults.
@@ -153,6 +154,12 @@ type Result struct {
 	// skipped by the branch-and-bound lower bound. Cached syntheses do
 	// no enumeration, so on a warm sweep both counters stay near zero.
 	ArrayOpt array.OptimizerStats
+
+	// Disk reports the persistent (disk) cache tier's activity for the
+	// sweep (same delta semantics; Bytes/Entries are the store totals
+	// afterwards). All counters are zero — and Enabled false — when no
+	// cache directory is configured.
+	Disk persist.Stats
 }
 
 // Options tunes the parallel engine. The zero value (or nil) selects the
@@ -354,6 +361,7 @@ func SearchContext(ctx context.Context, p Params, space Space, cons Constraints,
 	cacheBefore := array.Stats()
 	subsysBefore := component.Stats()
 	optBefore := array.OptStats()
+	diskBefore := persist.DefaultStats()
 
 	type outcome struct {
 		cand Candidate
@@ -432,6 +440,7 @@ feed:
 		Cache:    array.Stats().Delta(cacheBefore),
 		Subsys:   component.Stats().Delta(subsysBefore),
 		ArrayOpt: array.OptStats().Delta(optBefore),
+		Disk:     persist.DefaultStats().Delta(diskBefore),
 	}
 	for i := range outs {
 		if !outs[i].ran {

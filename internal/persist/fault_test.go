@@ -1,0 +1,196 @@
+package persist_test
+
+// Fault-injection tests of the store itself: every armed disk fault
+// must degrade to a miss (plus a counted quarantine or dropped write),
+// never to a wrong payload and never to an error reaching the caller.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mcpat/internal/persist"
+	"mcpat/internal/persist/faultfs"
+)
+
+func openFaulty(t *testing.T) (*persist.Store, *faultfs.Plan, string) {
+	t.Helper()
+	dir := t.TempDir()
+	ffs, plan := faultfs.New()
+	s, err := persist.Open(persist.Options{Dir: dir, FS: ffs})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s, plan, dir
+}
+
+func TestFaultShortWritePublishesTornEntry(t *testing.T) {
+	s, plan, _ := openFaulty(t)
+	key := []byte("torn")
+	payload := bytes.Repeat([]byte("p"), 4096)
+
+	// The write silently truncates: the entry publishes torn, exactly
+	// like a rename that beat the data blocks to stable storage before
+	// power loss.
+	plan.Arm(func(p *faultfs.Plan) { p.ShortWriteLen = 100 })
+	s.Put("ns.v1", key, payload)
+	if plan.InjectedCount() == 0 {
+		t.Fatal("short-write fault never fired")
+	}
+	plan.Reset()
+
+	if _, ok := s.Get("ns.v1", key); ok {
+		t.Fatal("torn entry was served")
+	}
+	st := s.Stats()
+	if st.Corrupt != 1 {
+		t.Fatalf("torn entry not quarantined: %+v", st)
+	}
+	// Recovery: republish works and round-trips.
+	s.Put("ns.v1", key, payload)
+	if got, ok := s.Get("ns.v1", key); !ok || !bytes.Equal(got, payload) {
+		t.Fatal("republish after torn write failed")
+	}
+}
+
+func TestFaultENOSPCDropsWrite(t *testing.T) {
+	s, plan, dir := openFaulty(t)
+	plan.Arm(func(p *faultfs.Plan) { p.WriteErr = faultfs.ErrNoSpace })
+	s.Put("ns.v1", []byte("k"), []byte("v"))
+	if got := s.Stats().WriteErrors; got != 1 {
+		t.Fatalf("WriteErrors = %d, want 1", got)
+	}
+	plan.Reset()
+	if _, ok := s.Get("ns.v1", []byte("k")); ok {
+		t.Fatal("entry exists despite ENOSPC during write")
+	}
+	// No temp-file debris.
+	ents, err := os.ReadDir(filepath.Join(dir, "tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("temp debris after failed write: %v", ents)
+	}
+}
+
+func TestFaultCreateErrDropsWrite(t *testing.T) {
+	s, plan, _ := openFaulty(t)
+	plan.Arm(func(p *faultfs.Plan) { p.CreateErr = faultfs.ErrIO })
+	s.Put("ns.v1", []byte("k"), []byte("v"))
+	if got := s.Stats().WriteErrors; got != 1 {
+		t.Fatalf("WriteErrors = %d, want 1", got)
+	}
+}
+
+func TestFaultCrashBeforeRename(t *testing.T) {
+	s, plan, dir := openFaulty(t)
+	plan.Arm(func(p *faultfs.Plan) { p.CrashBeforeRename = true })
+	s.Put("ns.v1", []byte("k"), []byte("v"))
+	plan.Reset()
+
+	// The publish never happened; the fully-written temp file is the
+	// only residue, and the entry reads as a miss.
+	if _, ok := s.Get("ns.v1", []byte("k")); ok {
+		t.Fatal("entry visible despite crash before rename")
+	}
+	// A restart (fresh Open on the same directory) sweeps the debris.
+	s2, err := persist.Open(persist.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer s2.Close()
+	ents, err := os.ReadDir(filepath.Join(dir, "tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("crash debris survived reopen: %v", ents)
+	}
+	if _, ok := s2.Get("ns.v1", []byte("k")); ok {
+		t.Fatal("reopened store served an entry that never published")
+	}
+	// And the store still works.
+	s2.Put("ns.v1", []byte("k"), []byte("v"))
+	if got, ok := s2.Get("ns.v1", []byte("k")); !ok || string(got) != "v" {
+		t.Fatal("store broken after crash recovery")
+	}
+}
+
+func TestFaultBitFlipOnRead(t *testing.T) {
+	s, plan, _ := openFaulty(t)
+	key := []byte("flip")
+	s.Put("ns.v1", key, []byte("precious payload"))
+
+	plan.Arm(func(p *faultfs.Plan) { p.FlipBitOnRead = true })
+	if _, ok := s.Get("ns.v1", key); ok {
+		t.Fatal("bit-flipped entry was served")
+	}
+	if plan.InjectedCount() == 0 {
+		t.Fatal("bit-flip fault never fired")
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("flip not counted as corrupt: %+v", st)
+	}
+}
+
+func TestFaultUnreadableEntry(t *testing.T) {
+	s, plan, _ := openFaulty(t)
+	key := []byte("eio")
+	s.Put("ns.v1", key, []byte("v"))
+	plan.Arm(func(p *faultfs.Plan) { p.OpenErr = faultfs.ErrIO })
+	if _, ok := s.Get("ns.v1", key); ok {
+		t.Fatal("unreadable entry was served")
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("unreadable entry not quarantined: %+v", st)
+	}
+}
+
+func TestFaultOpenUnwritableDirectoryFails(t *testing.T) {
+	// Create fails from the start: Open must report the directory as
+	// unusable so the caller can degrade to memory-only (this covers
+	// read-only mounts and permission errors, which cannot be simulated
+	// with chmod when tests run as root).
+	dir := t.TempDir()
+	ffs, plan := faultfs.New()
+	plan.Arm(func(p *faultfs.Plan) { p.CreateErr = faultfs.ErrIO })
+	if _, err := persist.Open(persist.Options{Dir: dir, FS: ffs}); err == nil {
+		t.Fatal("Open succeeded with an unwritable directory")
+	}
+}
+
+func TestOnDiskCorruptionHelpers(t *testing.T) {
+	dir := t.TempDir()
+	s, err := persist.Open(persist.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i, key := range []string{"a", "b", "c"} {
+		s.Put("ns.v1", []byte(key), bytes.Repeat([]byte{byte(i)}, 256))
+	}
+	paths, err := faultfs.Entries(dir)
+	if err != nil || len(paths) != 3 {
+		t.Fatalf("Entries = %v (%v), want 3", paths, err)
+	}
+	if err := faultfs.FlipBit(paths[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultfs.Truncate(paths[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultfs.Scribble(paths[2]); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"a", "b", "c"} {
+		if _, ok := s.Get("ns.v1", []byte(key)); ok {
+			t.Errorf("corrupted entry %q was served", key)
+		}
+	}
+	if st := s.Stats(); st.Corrupt != 3 {
+		t.Fatalf("Corrupt = %d, want 3", st.Corrupt)
+	}
+}

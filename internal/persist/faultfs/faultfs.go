@@ -1,0 +1,311 @@
+// Package faultfs is the fault-injection harness for the persistent
+// cache tier: a persist.FS wrapper that forces the disk failures a
+// production deployment will eventually meet — short (torn) writes,
+// ENOSPC, read-side bit flips, unreadable files, and crashes between
+// the temp write and the rename that publishes an entry.
+//
+// Tests arm faults on a Plan and assert the engine's invariant: every
+// injected fault degrades to a cache miss plus cold synthesis with
+// bit-identical results, never a wrong answer and never a process
+// failure. The package also provides direct on-disk corruption helpers
+// (truncate, flip a bit) for end-to-end tests running on the real
+// filesystem.
+package faultfs
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"mcpat/internal/persist"
+)
+
+// ErrNoSpace is the injected "disk full" error.
+var ErrNoSpace = errors.New("faultfs: no space left on device (injected)")
+
+// ErrIO is the injected generic I/O error.
+var ErrIO = errors.New("faultfs: input/output error (injected)")
+
+// ErrCrashed marks operations suppressed by a simulated crash: the
+// process "died" before the operation took effect.
+var ErrCrashed = errors.New("faultfs: process crashed before operation (injected)")
+
+// Plan arms the faults. The zero value injects nothing. All fields are
+// guarded by an internal mutex, so tests may re-arm concurrently with
+// store traffic.
+type Plan struct {
+	mu sync.Mutex
+
+	// ShortWriteLen truncates every file write after this many bytes
+	// (silently — the write "succeeds" short, like a torn write at
+	// power loss). <= 0 disables.
+	ShortWriteLen int
+
+	// WriteErr, when non-nil, is returned by every Write and Sync
+	// (ENOSPC simulation: arm with ErrNoSpace).
+	WriteErr error
+
+	// CreateErr, when non-nil, fails file creation.
+	CreateErr error
+
+	// CrashBeforeRename makes Rename fail with ErrCrashed while leaving
+	// the temp file in place — the publish never happened, exactly the
+	// state a SIGKILL between write and rename leaves behind.
+	CrashBeforeRename bool
+
+	// FlipBitOnRead XORs bit 0 of the first byte of every read, turning
+	// good entries into checksum mismatches.
+	FlipBitOnRead bool
+
+	// OpenErr, when non-nil, fails opening existing files for read.
+	OpenErr error
+
+	// Injected counts faults actually delivered, so tests can assert a
+	// fault fired rather than silently not triggering.
+	Injected int
+}
+
+func (p *Plan) hit() {
+	p.Injected++
+}
+
+// Reset disarms every fault.
+func (p *Plan) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ShortWriteLen = 0
+	p.WriteErr = nil
+	p.CreateErr = nil
+	p.CrashBeforeRename = false
+	p.FlipBitOnRead = false
+	p.OpenErr = nil
+}
+
+// Arm applies mut under the plan's lock.
+func (p *Plan) Arm(mut func(*Plan)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	mut(p)
+}
+
+// InjectedCount returns how many faults have fired.
+func (p *Plan) InjectedCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.Injected
+}
+
+// FS wraps an inner persist.FS with the plan's faults. Directory
+// operations pass through untouched; files gain the armed failure
+// modes.
+type FS struct {
+	Inner persist.FS
+	Plan  *Plan
+}
+
+// New wraps the real filesystem with a fresh plan.
+func New() (*FS, *Plan) {
+	p := &Plan{}
+	return &FS{Inner: persist.OSFS(), Plan: p}, p
+}
+
+func (f *FS) MkdirAll(path string, perm os.FileMode) error { return f.Inner.MkdirAll(path, perm) }
+
+func (f *FS) Open(name string) (persist.File, error) {
+	f.Plan.mu.Lock()
+	openErr := f.Plan.OpenErr
+	flip := f.Plan.FlipBitOnRead
+	if openErr != nil {
+		f.Plan.hit()
+	}
+	f.Plan.mu.Unlock()
+	if openErr != nil {
+		return nil, openErr
+	}
+	inner, err := f.Inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	if flip {
+		return &flippingFile{File: inner, plan: f.Plan}, nil
+	}
+	return inner, nil
+}
+
+func (f *FS) Create(name string) (persist.File, error) {
+	f.Plan.mu.Lock()
+	createErr := f.Plan.CreateErr
+	if createErr != nil {
+		f.Plan.hit()
+	}
+	f.Plan.mu.Unlock()
+	if createErr != nil {
+		return nil, createErr
+	}
+	inner, err := f.Inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyWriteFile{File: inner, plan: f.Plan}, nil
+}
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	f.Plan.mu.Lock()
+	crash := f.Plan.CrashBeforeRename
+	if crash {
+		f.Plan.hit()
+	}
+	f.Plan.mu.Unlock()
+	if crash {
+		// The temp file stays behind, as after a real crash.
+		return ErrCrashed
+	}
+	return f.Inner.Rename(oldpath, newpath)
+}
+
+func (f *FS) Remove(name string) error                   { return f.Inner.Remove(name) }
+func (f *FS) Stat(name string) (fs.FileInfo, error)      { return f.Inner.Stat(name) }
+func (f *FS) ReadDir(name string) ([]fs.DirEntry, error) { return f.Inner.ReadDir(name) }
+func (f *FS) Chtimes(name string, atime, mtime time.Time) error {
+	return f.Inner.Chtimes(name, atime, mtime)
+}
+
+// faultyWriteFile injects write-side faults.
+type faultyWriteFile struct {
+	persist.File
+	plan    *Plan
+	written int
+}
+
+func (w *faultyWriteFile) Write(b []byte) (int, error) {
+	w.plan.mu.Lock()
+	werr := w.plan.WriteErr
+	shortLen := w.plan.ShortWriteLen
+	if werr != nil {
+		w.plan.hit()
+	}
+	w.plan.mu.Unlock()
+	if werr != nil {
+		return 0, werr
+	}
+	if shortLen > 0 {
+		remain := shortLen - w.written
+		if remain <= 0 {
+			// Silently swallow the bytes: the caller believes the write
+			// succeeded, as with a torn write that power loss never
+			// flushed. The file on disk stays short.
+			w.plan.mu.Lock()
+			w.plan.hit()
+			w.plan.mu.Unlock()
+			return len(b), nil
+		}
+		if len(b) > remain {
+			n, err := w.File.Write(b[:remain])
+			w.written += n
+			w.plan.mu.Lock()
+			w.plan.hit()
+			w.plan.mu.Unlock()
+			if err != nil {
+				return n, err
+			}
+			return len(b), nil // lie: short write reported as full
+		}
+	}
+	n, err := w.File.Write(b)
+	w.written += n
+	return n, err
+}
+
+func (w *faultyWriteFile) Sync() error {
+	w.plan.mu.Lock()
+	werr := w.plan.WriteErr
+	if werr != nil {
+		w.plan.hit()
+	}
+	w.plan.mu.Unlock()
+	if werr != nil {
+		return werr
+	}
+	return w.File.Sync()
+}
+
+// flippingFile flips one bit of the first byte read.
+type flippingFile struct {
+	persist.File
+	plan    *Plan
+	flipped bool
+}
+
+func (r *flippingFile) Read(b []byte) (int, error) {
+	n, err := r.File.Read(b)
+	if n > 0 && !r.flipped {
+		b[0] ^= 0x01
+		r.flipped = true
+		r.plan.mu.Lock()
+		r.plan.hit()
+		r.plan.mu.Unlock()
+	}
+	return n, err
+}
+
+// --- direct on-disk corruption helpers (real filesystem) ---
+
+// Entries returns the published entry files under dir, sorted, so
+// tests can corrupt a deterministic subset.
+func Entries(dir string) ([]string, error) {
+	var out []string
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.Mode().IsRegular() && strings.HasSuffix(path, ".mcpe") {
+			out = append(out, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FlipBit XORs one bit in the middle of the file — an undetected media
+// error the checksum must catch.
+func FlipBit(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return errors.New("faultfs: empty file")
+	}
+	data[len(data)/2] ^= 0x10
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Truncate cuts the file to half its length — a torn write or
+// interrupted copy.
+func Truncate(path string) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	return os.Truncate(path, info.Size()/2)
+}
+
+// Scribble overwrites the file with garbage of the same length.
+func Scribble(path string) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	junk := make([]byte, info.Size())
+	for i := range junk {
+		junk[i] = byte(i*131 + 7)
+	}
+	return os.WriteFile(path, junk, 0o644)
+}

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package persist
+
+// Non-unix fallbacks: no advisory locking. The store still works —
+// publication stays atomic via rename — but concurrent eviction sweeps
+// are not serialized across processes.
+
+type dirLock struct{}
+
+func acquireDirLock(string) (*dirLock, error) { return &dirLock{}, nil }
+func (l *dirLock) release()                   {}
+
+func tryExclusive(string) (release func(), ok bool) { return func() {}, true }

@@ -1,0 +1,56 @@
+//go:build unix
+
+package persist
+
+import (
+	"os"
+	"syscall"
+)
+
+// dirLock is an advisory lock on the cache directory's lock file. A
+// shared lock is held for the store's lifetime (it proves the directory
+// is lockable and keeps concurrent mcpatd + CLI processes cooperating);
+// the eviction sweep upgrades to a separate exclusive try-lock so two
+// processes never scan and delete concurrently.
+type dirLock struct {
+	f *os.File
+}
+
+func acquireDirLock(path string) (*dirLock, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_SH); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &dirLock{f: f}, nil
+}
+
+func (l *dirLock) release() {
+	if l == nil || l.f == nil {
+		return
+	}
+	syscall.Flock(int(l.f.Fd()), syscall.LOCK_UN)
+	l.f.Close()
+	l.f = nil
+}
+
+// tryExclusive takes a non-blocking exclusive lock on a second lock
+// file, returning false when another process holds it (the caller skips
+// its eviction sweep — the holder is already doing one).
+func tryExclusive(path string) (release func(), ok bool) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, false
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, false
+	}
+	return func() {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}, true
+}

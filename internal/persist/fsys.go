@@ -1,0 +1,60 @@
+package persist
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"time"
+)
+
+// FS is the narrow filesystem surface the store uses. Production code
+// runs on osFS; the faultfs test harness wraps an FS to inject short
+// writes, ENOSPC, bit flips, and mid-publish crashes without touching
+// the store's logic. Every store operation must go through this
+// interface so a fault injected here exercises the same code paths a
+// real disk fault would.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	// Open opens an existing file for reading.
+	Open(name string) (File, error)
+	// Create truncates/creates a file for writing.
+	Create(name string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Stat(name string) (fs.FileInfo, error)
+	ReadDir(name string) ([]fs.DirEntry, error)
+	Chtimes(name string, atime, mtime time.Time) error
+}
+
+// File is the per-file surface: sequential read or write plus the Sync
+// the publish protocol requires before rename.
+type File interface {
+	io.Reader
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// osFS is the production FS.
+type osFS struct{}
+
+// OSFS returns the real-filesystem implementation used by default.
+func OSFS() FS { return osFS{} }
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) Open(name string) (File, error) { return os.Open(name) }
+
+func (osFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error) {
+	return os.Stat(name)
+}
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) Chtimes(name string, atime, mtime time.Time) error {
+	return os.Chtimes(name, atime, mtime)
+}

@@ -1,0 +1,186 @@
+package serve
+
+// POST /v1/batch: evaluate many chip configurations in one request, so
+// they share a single warm cache generation — every array and subsystem
+// the first item synthesizes is a memory-cache (and, with -cache-dir, a
+// disk) hit for the rest. Items are independent: one bad config yields
+// a per-item error, never a failed batch.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"mcpat/internal/persist"
+)
+
+// maxBatchItems bounds one batch; larger workloads belong in /v1/dse
+// jobs or several batches.
+const maxBatchItems = 1024
+
+// BatchRequest is the JSON body of POST /v1/batch.
+type BatchRequest struct {
+	// Items are evaluated with the same semantics as POST /v1/evaluate.
+	Items []EvaluateRequest `json:"items"`
+	// Workers bounds concurrent item evaluations within the batch;
+	// <= 0 selects the server's MaxInFlight.
+	Workers int `json:"workers,omitempty"`
+}
+
+// BatchItemResult is one item's outcome, in input order. Exactly one of
+// Result and Error is set.
+type BatchItemResult struct {
+	Index  int               `json:"index"`
+	Result *EvaluateResponse `json:"result,omitempty"`
+	Error  *APIError         `json:"error,omitempty"`
+}
+
+// BatchResponse is the 200 body of POST /v1/batch. The batch succeeds
+// as a whole (200) even when individual items fail; inspect Failed.
+type BatchResponse struct {
+	Items     []BatchItemResult `json:"items"`
+	Succeeded int               `json:"succeeded"`
+	Failed    int               `json:"failed"`
+	// Disk reports the persistent cache tier's activity during this
+	// batch — the warm-sharing the endpoint exists for.
+	Disk DiskCacheStatsJSON `json:"disk_cache"`
+}
+
+// handleBatch serves POST /v1/batch. Admission takes one synchronous
+// evaluation slot up front (shed with 429 when saturated, like
+// /v1/evaluate); additional intra-batch workers then acquire further
+// slots as they free up, so a batch can use idle capacity but never
+// push total evaluation concurrency past MaxInFlight.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	select {
+	case s.evalSem <- struct{}{}:
+		defer func() { <-s.evalSem }()
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			&APIError{Kind: kindOverloaded, Message: "evaluation capacity saturated; retry"})
+		return
+	}
+
+	var req BatchRequest
+	body := http.MaxBytesReader(nil, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest,
+			&APIError{Kind: kindBadRequest, Message: fmt.Sprintf("parse JSON: %v", err)})
+		return
+	}
+	if len(req.Items) == 0 {
+		writeError(w, http.StatusBadRequest,
+			&APIError{Kind: kindBadRequest, Message: "items is required and must be non-empty"})
+		return
+	}
+	if len(req.Items) > maxBatchItems {
+		writeError(w, http.StatusBadRequest,
+			&APIError{Kind: kindBadRequest,
+				Message: fmt.Sprintf("batch of %d exceeds the %d-item limit", len(req.Items), maxBatchItems)})
+		return
+	}
+
+	workers := req.Workers
+	if workers <= 0 || workers > s.cfg.MaxInFlight {
+		workers = s.cfg.MaxInFlight
+	}
+	if workers > len(req.Items) {
+		workers = len(req.Items)
+	}
+
+	diskBefore := persist.DefaultStats()
+	resp := &BatchResponse{Items: make([]BatchItemResult, len(req.Items))}
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	ctx := r.Context()
+	for w := 0; w < workers; w++ {
+		first := w == 0 // the admission slot already held above
+		wg.Add(1)
+		go func(holdsSlot bool) {
+			defer wg.Done()
+			for i := range idxCh {
+				if !holdsSlot {
+					select {
+					case s.evalSem <- struct{}{}:
+					case <-ctx.Done():
+						resp.Items[i] = batchCanceled(i)
+						continue
+					}
+				}
+				resp.Items[i] = s.evalBatchItem(ctx, i, &req.Items[i])
+				if !holdsSlot {
+					<-s.evalSem
+				}
+			}
+		}(first)
+	}
+	for i := range req.Items {
+		select {
+		case idxCh <- i:
+		case <-ctx.Done():
+			// Mark the rest canceled; workers finish what they hold.
+			for j := i; j < len(req.Items); j++ {
+				select {
+				case idxCh <- j:
+				default:
+					resp.Items[j] = batchCanceled(j)
+				}
+			}
+			close(idxCh)
+			wg.Wait()
+			writeModelError(w, ctx.Err())
+			return
+		}
+	}
+	close(idxCh)
+	wg.Wait()
+
+	for i := range resp.Items {
+		if resp.Items[i].Error == nil {
+			resp.Succeeded++
+		} else {
+			resp.Failed++
+		}
+	}
+	resp.Disk = newDiskCacheStatsJSON(persist.DefaultStats().Delta(diskBefore))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func batchCanceled(i int) BatchItemResult {
+	return BatchItemResult{Index: i, Error: &APIError{Kind: kindCanceled, Message: "batch canceled"}}
+}
+
+// evalBatchItem runs one item under the per-request timeout, reusing
+// the single-evaluation containment (abandon on deadline).
+func (s *Server) evalBatchItem(ctx context.Context, i int, item *EvaluateRequest) BatchItemResult {
+	if item.Preset == "" && item.Config == nil {
+		return BatchItemResult{Index: i,
+			Error: &APIError{Kind: kindBadRequest, Message: "one of preset or config is required"}}
+	}
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	type out struct {
+		resp *EvaluateResponse
+		err  error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		resp, err := evaluateOnce(item)
+		ch <- out{resp, err}
+	}()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			return BatchItemResult{Index: i, Error: apiError(o.err)}
+		}
+		return BatchItemResult{Index: i, Result: o.resp}
+	case <-ctx.Done():
+		return BatchItemResult{Index: i, Error: apiError(ctx.Err())}
+	}
+}

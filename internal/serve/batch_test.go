@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"net/http"
+	"reflect"
+	"testing"
+
+	"mcpat/internal/persist"
+)
+
+func TestBatchEvaluate(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cfg := tinyChip()
+	bad := cfg
+	bad.NM = 3 // outside the supported tech range
+
+	resp, body := doJSON(t, "POST", ts.URL+"/v1/batch", BatchRequest{
+		Items: []EvaluateRequest{
+			{Config: &cfg},
+			{Config: &bad},
+			{}, // neither preset nor config
+			{Config: &cfg},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d %s", resp.StatusCode, body)
+	}
+	br := decode[BatchResponse](t, body)
+	if br.Succeeded != 2 || br.Failed != 2 || len(br.Items) != 4 {
+		t.Fatalf("succeeded=%d failed=%d items=%d, want 2/2/4", br.Succeeded, br.Failed, len(br.Items))
+	}
+	for i, item := range br.Items {
+		if item.Index != i {
+			t.Errorf("item %d carries index %d", i, item.Index)
+		}
+	}
+	if br.Items[0].Result == nil || br.Items[3].Result == nil {
+		t.Fatal("good items missing results")
+	}
+	if !reflect.DeepEqual(br.Items[0].Result, br.Items[3].Result) {
+		t.Error("identical items produced different results")
+	}
+	if br.Items[1].Error == nil || br.Items[2].Error == nil {
+		t.Fatal("bad items missing errors")
+	}
+	if br.Items[2].Error.Kind != kindBadRequest {
+		t.Errorf("empty item: want bad_request, got %+v", br.Items[2].Error)
+	}
+
+	// The batch result matches a single evaluation of the same config.
+	resp, single := doJSON(t, "POST", ts.URL+"/v1/evaluate", EvaluateRequest{Config: &cfg})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single evaluate: %d", resp.StatusCode)
+	}
+	if !reflect.DeepEqual(*br.Items[0].Result, decode[EvaluateResponse](t, single)) {
+		t.Error("batch item result differs from single /v1/evaluate")
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, tc := range []struct {
+		name string
+		body any
+	}{
+		{"empty items", BatchRequest{}},
+		{"malformed JSON", "not json"},
+	} {
+		resp, body := doJSON(t, "POST", ts.URL+"/v1/batch", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: %d %s, want 400", tc.name, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestBatchReportsDiskTier(t *testing.T) {
+	store, err := persist.Open(persist.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := persist.SetDefault(store)
+	t.Cleanup(func() {
+		persist.SetDefault(prev)
+		store.Close()
+	})
+
+	_, ts := newTestServer(t, Config{})
+	cfg := tinyChip()
+	resp, body := doJSON(t, "POST", ts.URL+"/v1/batch", BatchRequest{
+		Items: []EvaluateRequest{{Config: &cfg}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d %s", resp.StatusCode, body)
+	}
+	br := decode[BatchResponse](t, body)
+	if !br.Disk.Enabled {
+		t.Error("batch with a configured store must report disk_cache.enabled")
+	}
+
+	// /metrics mirrors the disk tier.
+	resp, body = doJSON(t, "GET", ts.URL+"/metrics", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	if snap := decode[MetricsSnapshot](t, body); !snap.Disk.Enabled {
+		t.Error("metrics must report the disk tier as enabled")
+	}
+}

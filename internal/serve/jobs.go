@@ -51,6 +51,10 @@ type jobStore struct {
 	baseCtx context.Context
 	metrics *metrics
 
+	// journal, when non-nil, makes accepted jobs durable across process
+	// restarts (see journal.go). All appends go through it.
+	journal *journal
+
 	queue chan *job
 	wg    sync.WaitGroup
 
@@ -65,7 +69,7 @@ type jobStore struct {
 	runSweep func(ctx context.Context, j *job) (*explore.Result, error)
 }
 
-func newJobStore(baseCtx context.Context, workers, queueDepth, retention int, m *metrics) *jobStore {
+func newJobStore(baseCtx context.Context, workers, queueDepth, retention int, m *metrics, jl *journal) *jobStore {
 	if workers < 1 {
 		workers = 1
 	}
@@ -78,6 +82,7 @@ func newJobStore(baseCtx context.Context, workers, queueDepth, retention int, m 
 	s := &jobStore{
 		baseCtx:  baseCtx,
 		metrics:  m,
+		journal:  jl,
 		queue:    make(chan *job, queueDepth),
 		jobs:     make(map[string]*job),
 		retained: retention,
@@ -146,8 +151,54 @@ func (s *jobStore) submit(req *DSERequest) (JobStatus, error) {
 		s.metrics.jobsRejected.Add(1)
 		return JobStatus{}, errQueueFull
 	}
+	// Journal before the caller can answer 202: once the client learns
+	// the id, the job survives a restart.
+	s.journal.submitted(j.status.ID, j.status.SubmittedAt, req)
 	s.metrics.jobsSubmitted.Add(1)
 	return j.snapshot(), nil
+}
+
+// resubmit restores one journaled job after a restart, preserving its
+// original id and submission time. The enqueue blocks (workers are
+// already draining the queue) so recovery never sheds jobs the journal
+// promised to keep. A request that no longer validates — a journal from
+// an older wire format, say — fails the job rather than dropping it.
+func (s *jobStore) resubmit(rj recoveredJob) {
+	p, space, cons, obj, opts, err := rj.Req.explore()
+	j := &job{
+		status: JobStatus{
+			ID:          rj.ID,
+			State:       JobQueued,
+			SubmittedAt: rj.SubmittedAt,
+		},
+		cancel: func() {},
+	}
+	if err == nil {
+		j.status.CandidatesTotal = space.Size()
+		j.params, j.space, j.cons, j.obj, j.opts = p, space, cons, obj, *opts
+	}
+
+	s.mu.Lock()
+	if _, exists := s.jobs[rj.ID]; exists {
+		// A duplicate submit in a damaged journal; first wins.
+		s.mu.Unlock()
+		return
+	}
+	s.jobs[rj.ID] = j
+	s.order = append(s.order, rj.ID)
+	s.mu.Unlock()
+
+	if err != nil {
+		s.finish(j, nil, err)
+		s.metrics.jobsRecovered.Add(1)
+		return
+	}
+	select {
+	case s.queue <- j:
+	case <-s.baseCtx.Done():
+		s.finish(j, nil, context.Canceled)
+	}
+	s.metrics.jobsRecovered.Add(1)
 }
 
 // evictLocked drops the oldest terminal jobs beyond the retention cap,
@@ -231,6 +282,9 @@ func (s *jobStore) requestCancel(id string) (JobStatus, bool) {
 	j.mu.Unlock()
 	if queued {
 		s.metrics.jobsCanceled.Add(1)
+		// User cancellation is terminal for good: journal it so the job
+		// does not resurrect on restart.
+		s.journal.ended(id, JobCanceled)
 	}
 	cancel()
 	return j.snapshot(), true
@@ -297,18 +351,22 @@ func (s *jobStore) run(j *job) {
 	s.finish(j, res, err)
 }
 
-// finish moves a job to its terminal state and records metrics.
+// finish moves a job to its terminal state and records metrics. Every
+// terminal transition is journaled except a shutdown cancel: drain is
+// not completion, so the job stays live in the journal and re-runs on
+// the next start.
 func (s *jobStore) finish(j *job, res *explore.Result, err error) {
 	now := time.Now()
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.status.State.Terminal() {
+		j.mu.Unlock()
 		return
 	}
 	j.status.FinishedAt = &now
 	if res != nil {
 		j.status.Result = NewDSEReport(res, j.obj)
 	}
+	journalEnd := true
 	switch {
 	case err == nil:
 		j.status.State = JobDone
@@ -318,6 +376,7 @@ func (s *jobStore) finish(j *job, res *explore.Result, err error) {
 		msg := "canceled"
 		if !j.cancelRequested {
 			msg = "canceled by server shutdown"
+			journalEnd = false
 		}
 		j.status.Error = &APIError{Kind: kindCanceled, Message: msg}
 		s.metrics.jobsCanceled.Add(1)
@@ -325,6 +384,11 @@ func (s *jobStore) finish(j *job, res *explore.Result, err error) {
 		j.status.State = JobFailed
 		j.status.Error = apiError(err)
 		s.metrics.jobsFailed.Add(1)
+	}
+	id, state := j.status.ID, j.status.State
+	j.mu.Unlock()
+	if journalEnd {
+		s.journal.ended(id, state)
 	}
 }
 

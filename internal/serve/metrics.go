@@ -10,6 +10,7 @@ import (
 	"mcpat/internal/array"
 	"mcpat/internal/chip"
 	"mcpat/internal/component"
+	"mcpat/internal/persist"
 )
 
 // latencyBucketsMS are the upper bounds (milliseconds) of the request
@@ -39,6 +40,7 @@ type metrics struct {
 	cacheBase  array.CacheStats
 	subsysBase component.CacheStats
 	optBase    array.OptimizerStats
+	diskBase   persist.Stats
 
 	inFlight atomic.Int64
 
@@ -47,6 +49,7 @@ type metrics struct {
 	jobsFailed    atomic.Uint64
 	jobsCanceled  atomic.Uint64
 	jobsRejected  atomic.Uint64 // submissions shed with 429
+	jobsRecovered atomic.Uint64 // journaled jobs restored at startup
 
 	// queueDepth and jobsRunning are wired to the job store by the
 	// server; nil until then.
@@ -64,6 +67,7 @@ func newMetrics() *metrics {
 		cacheBase:  array.Stats(),
 		subsysBase: component.Stats(),
 		optBase:    array.OptStats(),
+		diskBase:   persist.DefaultStats(),
 		requests:   make(map[string]map[string]uint64),
 		latency:    make(map[string]*histogram),
 	}
@@ -98,11 +102,14 @@ type LatencyJSON struct {
 
 // JobMetricsJSON is the job subsystem section of the snapshot.
 type JobMetricsJSON struct {
-	Submitted  uint64 `json:"submitted"`
-	Done       uint64 `json:"done"`
-	Failed     uint64 `json:"failed"`
-	Canceled   uint64 `json:"canceled"`
-	Rejected   uint64 `json:"rejected"`
+	Submitted uint64 `json:"submitted"`
+	Done      uint64 `json:"done"`
+	Failed    uint64 `json:"failed"`
+	Canceled  uint64 `json:"canceled"`
+	Rejected  uint64 `json:"rejected"`
+	// Recovered counts journaled jobs restored at startup (included in
+	// neither Submitted nor Rejected).
+	Recovered  uint64 `json:"recovered,omitempty"`
 	Running    int    `json:"running"`
 	QueueDepth int    `json:"queue_depth"`
 }
@@ -125,6 +132,10 @@ type MetricsSnapshot struct {
 	// ArrayOpt reports array-optimizer enumeration work (evaluated vs
 	// pruned organizations) since the server started.
 	ArrayOpt ArrayOptStatsJSON `json:"array_optimizer"`
+	// Disk reports the persistent cache tier's activity since the server
+	// started (Bytes/Entries are the store's current totals; Enabled is
+	// false when the server runs without a cache directory).
+	Disk DiskCacheStatsJSON `json:"disk_cache"`
 	// SynthWorkers is the resolved per-evaluation subsystem-synthesis
 	// parallelism; SynthInflight is the number of subsystem builders
 	// executing right now (a point-in-time gauge).
@@ -152,10 +163,12 @@ func (m *metrics) snapshot() MetricsSnapshot {
 			Failed:    m.jobsFailed.Load(),
 			Canceled:  m.jobsCanceled.Load(),
 			Rejected:  m.jobsRejected.Load(),
+			Recovered: m.jobsRecovered.Load(),
 		},
 		Cache:         newCacheStatsJSON(array.Stats().Delta(m.cacheBase)),
 		Subsys:        newSubsysCacheStatsJSON(component.Stats().Delta(m.subsysBase)),
 		ArrayOpt:      newArrayOptStatsJSON(array.OptStats().Delta(m.optBase)),
+		Disk:          newDiskCacheStatsJSON(persist.DefaultStats().Delta(m.diskBase)),
 		SynthWorkers:  chip.SynthWorkers(),
 		SynthInflight: chip.SynthInflight(),
 	}

@@ -1,10 +1,12 @@
 // Package serve is the HTTP evaluation service layered on the modeling
 // engine: mcpatd's handlers, job store, admission control, metrics, and
 // graceful shutdown. It exposes synchronous single-chip evaluation
-// (POST /v1/evaluate, native Config JSON or McPAT-style XML),
+// (POST /v1/evaluate, native Config JSON or McPAT-style XML), batched
+// evaluation sharing one warm cache generation (POST /v1/batch),
 // asynchronous design-space exploration as cancellable jobs
 // (POST /v1/dse, GET|DELETE /v1/jobs/{id}), and the operational
-// endpoints GET /healthz and GET /metrics.
+// endpoints GET /healthz and GET /metrics. With Config.JournalPath set,
+// accepted jobs are journaled and recovered across restarts.
 //
 // The service reuses the engine's hardening instead of duplicating it:
 // the guard error taxonomy maps onto HTTP statuses (config 400,
@@ -51,6 +53,14 @@ type Config struct {
 	// are evicted. <= 0 selects 64.
 	JobRetention int
 
+	// JournalPath, when non-empty, makes accepted DSE jobs durable: each
+	// submission is appended (fsynced) to this JSONL file and marked
+	// terminal on completion, and New replays the file so jobs that were
+	// queued or running when the previous process died are re-run with
+	// their original ids. An unusable path degrades to a non-durable
+	// server with a logged warning — it never prevents startup.
+	JournalPath string
+
 	// Logf, when non-nil, receives one line per completed request and
 	// per lifecycle event (Printf-style).
 	Logf func(format string, args ...any)
@@ -84,6 +94,7 @@ type Server struct {
 	cfg     Config
 	metrics *metrics
 	jobs    *jobStore
+	journal *journal
 	mux     *http.ServeMux
 
 	// evalSem is the admission semaphore of synchronous evaluations.
@@ -97,21 +108,46 @@ type Server struct {
 	inflight sync.WaitGroup
 }
 
-// New builds a ready-to-serve Server.
+// New builds a ready-to-serve Server. When cfg.JournalPath is set, jobs
+// journaled as live by a previous process are already re-enqueued when
+// New returns — mount the handler afterwards and recovery is invisible
+// to clients beyond their jobs still existing.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	m := newMetrics()
+
+	var jl *journal
+	var recovered []recoveredJob
+	if cfg.JournalPath != "" {
+		var err error
+		jl, recovered, err = openJournal(cfg.JournalPath, cfg.Logf)
+		if err != nil {
+			// Durability is an upgrade, not a precondition: a bad journal
+			// path must not keep the evaluation service down.
+			cfg.Logf("mcpatd: warning: job journal unavailable, running without durability: %v", err)
+			jl = nil
+		}
+	}
+
 	baseCtx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
 		metrics:    m,
-		jobs:       newJobStore(baseCtx, cfg.JobWorkers, cfg.JobQueueDepth, cfg.JobRetention, m),
+		journal:    jl,
+		jobs:       newJobStore(baseCtx, cfg.JobWorkers, cfg.JobQueueDepth, cfg.JobRetention, m, jl),
 		evalSem:    make(chan struct{}, cfg.MaxInFlight),
 		baseCtx:    baseCtx,
 		cancelBase: cancel,
 	}
+	for _, rj := range recovered {
+		s.jobs.resubmit(rj)
+	}
+	if len(recovered) > 0 {
+		cfg.Logf("mcpatd: recovered %d journaled job(s)", len(recovered))
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/dse", s.handleDSESubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
@@ -142,6 +178,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		// Workers have exited, so no further journal appends: close the
+		// handle. Jobs canceled by this drain were deliberately not
+		// journaled terminal — the next process re-runs them.
+		s.journal.close()
 		s.cfg.Logf("mcpatd: drain complete")
 		return nil
 	case <-ctx.Done():

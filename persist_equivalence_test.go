@@ -1,0 +1,118 @@
+package mcpat_test
+
+// Bit-identity contract for the persistent (disk) synthesis cache at the
+// whole-chip level: for every validation target, a report assembled from
+// disk-hydrated parts — fresh process simulated by dropping both memory
+// tiers between passes — must be byte-for-byte equal to one produced
+// with all caching disabled. A third pass corrupts every on-disk entry
+// and asserts the fallback to cold synthesis is equally bit-identical.
+
+import (
+	"reflect"
+	"testing"
+
+	"mcpat"
+	"mcpat/internal/persist"
+	"mcpat/internal/persist/faultfs"
+)
+
+// installDiskTier opens a store in a temp dir, makes it the process
+// default, and restores the previous state (including cold memory
+// tiers) when the test ends.
+func installDiskTier(t *testing.T) *persist.Store {
+	t.Helper()
+	s, err := persist.Open(persist.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("persist.Open: %v", err)
+	}
+	prev := persist.SetDefault(s)
+	mcpat.ResetArraySynthCache()
+	mcpat.ResetSubsysSynthCache()
+	t.Cleanup(func() {
+		persist.SetDefault(prev)
+		s.Close()
+		mcpat.ResetArraySynthCache()
+		mcpat.ResetSubsysSynthCache()
+	})
+	return s
+}
+
+func TestDiskHydratedReportsBitIdentical(t *testing.T) {
+	ref := uncachedReports(t)
+	store := installDiskTier(t)
+
+	// Pass 1: cold — populates memory tiers and the disk store.
+	for _, target := range mcpat.ValidationTargets() {
+		res, err := mcpat.Validate(target)
+		if err != nil {
+			t.Fatalf("%s populate: %v", target.Ref.Name, err)
+		}
+		if !reflect.DeepEqual(res.Report, ref[target.Ref.Name]) {
+			t.Fatalf("%s: populating report differs from uncached reference", target.Ref.Name)
+		}
+	}
+	base := store.Stats()
+	if base.Entries == 0 {
+		t.Fatal("populating pass published no disk entries")
+	}
+
+	// Pass 2: simulate a process restart — memory cold, disk warm.
+	mcpat.ResetArraySynthCache()
+	mcpat.ResetSubsysSynthCache()
+	for _, target := range mcpat.ValidationTargets() {
+		res, err := mcpat.Validate(target)
+		if err != nil {
+			t.Fatalf("%s hydrate: %v", target.Ref.Name, err)
+		}
+		if !reflect.DeepEqual(res.Report, ref[target.Ref.Name]) {
+			t.Errorf("%s: disk-hydrated report differs from uncached reference", target.Ref.Name)
+		}
+	}
+	d := store.Stats().Delta(base)
+	if d.Hits == 0 {
+		t.Fatal("restart pass never hit the disk tier")
+	}
+	if d.Corrupt != 0 {
+		t.Fatalf("restart pass quarantined %d entries from a clean store", d.Corrupt)
+	}
+	// The restart should be overwhelmingly disk-served: the acceptance
+	// bar for warm restarts is a >90% disk hit rate.
+	if hr := d.HitRate(); hr < 0.9 {
+		t.Errorf("warm-restart disk hit rate %.1f%% below 90%%", hr*100)
+	}
+
+	// Pass 3: corrupt every entry; reports still bit-identical via cold
+	// synthesis, corruption quarantined.
+	paths, err := faultfs.Entries(store.Dir())
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no entries to corrupt (%v)", err)
+	}
+	for i, p := range paths {
+		var err error
+		switch i % 3 {
+		case 0:
+			err = faultfs.FlipBit(p)
+		case 1:
+			err = faultfs.Truncate(p)
+		default:
+			err = faultfs.Scribble(p)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mcpat.ResetArraySynthCache()
+	mcpat.ResetSubsysSynthCache()
+	for _, target := range mcpat.ValidationTargets() {
+		res, err := mcpat.Validate(target)
+		if err != nil {
+			t.Fatalf("%s with corrupt store: %v", target.Ref.Name, err)
+		}
+		if !reflect.DeepEqual(res.Report, ref[target.Ref.Name]) {
+			t.Errorf("%s: report after store corruption differs from uncached reference", target.Ref.Name)
+		}
+	}
+	if store.Stats().Corrupt == 0 {
+		t.Error("corrupted entries were never quarantined")
+	}
+}
