@@ -3,6 +3,15 @@
 // technology node; prunes points that exceed the area/TDP budget; ranks
 // the survivors under the chosen objective; and prints the Pareto story.
 //
+// Two search strategies are available. The default exhaustive sweep
+// evaluates every point of the cross product. -search=pareto runs the
+// budgeted adaptive multi-objective search instead: it spends -budget
+// evaluations (default a tenth of the space), recovers the same
+// single-objective winners on the validation spaces, and prints the
+// Pareto front over {power, area, delay, ED², EDA}. The pareto search
+// is deterministic per -seed: the same seed and space replay the same
+// candidate sequence at any -workers count.
+//
 // The sweep is parallel and fault tolerant: candidates are evaluated by a
 // bounded worker pool, a candidate whose evaluation faults or exceeds
 // -timeout is reported in a failure section without aborting the sweep
@@ -13,6 +22,8 @@
 //
 //	mcpat-dse -nm 22 -cores 16,32,64 -l2kb 128,256,512 \
 //	          -max-area 400 -max-tdp 250 -objective perf/watt
+//	mcpat-dse -cores 2,4,8,16,32,64,128 -l2kb 64,128,256,512,1024,2048 \
+//	          -search pareto -budget 40 -seed 7
 package main
 
 import (
@@ -41,6 +52,9 @@ func main() {
 		maxArea   = flag.Float64("max-area", 400, "area budget (mm^2, 0 = none)")
 		maxTDP    = flag.Float64("max-tdp", 250, "TDP budget (W, 0 = none)")
 		objName   = flag.String("objective", "throughput", "throughput|perf/watt|ed2ap")
+		search    = flag.String("search", "exhaustive", "search strategy: exhaustive|pareto")
+		budget    = flag.Int("budget", 0, "pareto evaluation budget (0 = a tenth of the space)")
+		seed      = flag.Int64("seed", 1, "pareto search RNG seed (same seed replays the same search)")
 		topN      = flag.Int("top", 8, "candidates to print")
 		workers   = flag.Int("workers", 0, "parallel evaluations (0 = GOMAXPROCS)")
 		par       = flag.Int("par", 0, "parallel subsystem builds inside each cold evaluation (0 = process default, 1 = serial)")
@@ -68,6 +82,11 @@ func main() {
 		cliutil.Usagef("mcpat-dse", "unknown objective %q", *objName)
 	}
 
+	searchKind, err := mcpat.ParseDSESearchKind(*search)
+	if err != nil {
+		cliutil.Usagef("mcpat-dse", "%v", err)
+	}
+
 	if *noCache {
 		mcpat.SetArraySynthCache(false)
 		mcpat.SetSubsysSynthCache(false)
@@ -90,6 +109,9 @@ func main() {
 			SynthWorkers:     *par,
 			CandidateTimeout: *timeout,
 			FailFast:         !*keepGoing,
+			Search:           searchKind,
+			Budget:           *budget,
+			Seed:             *seed,
 		},
 	)
 	interrupted := errors.Is(err, context.Canceled)
@@ -113,8 +135,13 @@ func main() {
 		exit(interrupted, err)
 	}
 
-	fmt.Printf("Explored %d design points (%d feasible) at %gnm under %s\n\n",
-		res.Evaluated, res.Feasible, *nm, *objName)
+	if res.Search == mcpat.SearchPareto {
+		fmt.Printf("Explored %d of %d design points (%d feasible) at %gnm under %s [pareto search]\n\n",
+			res.Evaluated, res.SpaceSize, res.Feasible, *nm, *objName)
+	} else {
+		fmt.Printf("Explored %d design points (%d feasible) at %gnm under %s\n\n",
+			res.Evaluated, res.Feasible, *nm, *objName)
+	}
 	fmt.Printf("%6s %6s %8s %8s %8s %8s %10s %10s  %s\n",
 		"cores", "l2KB", "cluster", "TDP W", "mm^2", "GIPS", "GIPS/W", "score", "status")
 	shown := 0
@@ -143,6 +170,18 @@ func main() {
 			res.Best.TDP, res.Best.AreaMM2, res.Best.Perf/1e9)
 	} else {
 		fmt.Println("\nNo feasible design under the given budget.")
+	}
+	if len(res.Front) > 0 {
+		fmt.Printf("\nPareto front (%d non-dominated design points over power/area/delay/ED²/EDA):\n", len(res.Front))
+		fmt.Printf("%6s %6s %8s %8s %8s %8s %12s\n",
+			"cores", "l2KB", "cluster", "watts", "mm^2", "GIPS", "ED2AP")
+		for _, c := range res.Front {
+			d := 1 / c.Perf
+			e := c.RunW * d
+			fmt.Printf("%6d %6d %8d %8.1f %8.1f %8.1f %12.3g\n",
+				c.Cores, c.L2PerCoreKB, c.ClusterSize, c.RunW, c.AreaMM2,
+				c.Perf/1e9, e*d*d*c.AreaMM2)
+		}
 	}
 	if *stats {
 		cs := res.Cache

@@ -1,0 +1,538 @@
+package explore
+
+import (
+	"math/rand"
+	"sort"
+
+	"mcpat/internal/chip"
+)
+
+// adaptiveGenerator drives the Pareto search: a deterministic seeded
+// sample (the axis corners of every fabric plus random fill), then
+// generations that mutate the current front one axis at a time. The
+// single-axis mutation is deliberate: a candidate that differs from an
+// already-evaluated design in only one axis reuses every other
+// subsystem outright through the delta cache (mutating the NoC leaves
+// cores and shared caches as pure cache hits), so the search's marginal
+// evaluation cost is a fraction of a cold candidate's.
+//
+// Two refinements make the budget go far. Mutation steps are geometric
+// (index distance 1, 2, 4, ... along the cores and L2 axes), so the
+// search crosses a wide axis in logarithmically many generations
+// instead of crawling one value at a time. And every infeasible
+// evaluation seeds a descent probe one index down in cores and L2:
+// with area and TDP monotone in both axes, the constrained optima sit
+// on the budget boundary, and walking down from an over-budget corner
+// finds that boundary directly.
+//
+// A small rng-driven exploration share per generation protects against
+// local optima; everything is derived from the seeded rng and the
+// axis-ordered front, so a (seed, space) pair replays the identical
+// proposal sequence at any worker count.
+type adaptiveGenerator struct {
+	cores    []int // sorted ascending, deduplicated
+	l2kb     []int
+	clusters []int
+	fabrics  []chip.InterconnectKind // deduplicated, space order
+
+	front *ParetoFront
+	rng   *rand.Rand
+
+	budget   int
+	proposed int
+	visited  map[axisKey]bool
+
+	// pendInf queues infeasible evaluations (in evaluation order) whose
+	// descent neighbors the next generation probes; descended marks the
+	// points already expanded so a key descends at most once.
+	pendInf   []axisKey
+	descended map[axisKey]bool
+
+	seeded       bool
+	lastVersion  uint64
+	prevFrontier bool // last generation proposed unvisited front neighbors
+	stalled      int  // consecutive generations without front change
+	concluded    bool // final front pruning already ran
+}
+
+// axisKey identifies one design point of the space.
+type axisKey struct {
+	cores, l2kb int
+	fabric      chip.InterconnectKind
+	cluster     int
+}
+
+// stallLimit ends the search early once this many consecutive
+// generations neither changed the front nor found an unvisited neighbor
+// of it: the remaining budget would be spent on blind sampling of a
+// converged search.
+const stallLimit = 4
+
+func sortedUnique(vals []int) []int {
+	out := append([]int(nil), vals...)
+	sort.Ints(out)
+	n := 0
+	for i, v := range out {
+		if i == 0 || v != out[n-1] {
+			out[n] = v
+			n++
+		}
+	}
+	return out[:n]
+}
+
+func newAdaptiveGenerator(space Space, front *ParetoFront, budget int, seed int64) *adaptiveGenerator {
+	g := &adaptiveGenerator{
+		cores:     sortedUnique(space.Cores),
+		l2kb:      sortedUnique(space.L2PerCoreKB),
+		clusters:  sortedUnique(space.ClusterSizes),
+		front:     front,
+		rng:       rand.New(rand.NewSource(seed)),
+		budget:    budget,
+		visited:   make(map[axisKey]bool),
+		descended: make(map[axisKey]bool),
+	}
+	for _, f := range space.Fabrics {
+		dup := false
+		for _, seen := range g.fabrics {
+			dup = dup || seen == f
+		}
+		if !dup {
+			g.fabrics = append(g.fabrics, f)
+		}
+	}
+	return g
+}
+
+// legal reports whether the axes form an evaluable design point of the
+// space: non-mesh fabrics collapse the cluster axis to 1 (as the
+// exhaustive enumeration does) and mesh clusters must divide the core
+// count. Filtering the non-dividing combinations here keeps them from
+// consuming evaluation budget on guaranteed rejections.
+func (g *adaptiveGenerator) legal(k axisKey) bool {
+	if k.fabric != chip.Mesh {
+		return k.cluster == 1
+	}
+	return k.cluster > 0 && k.cores%k.cluster == 0
+}
+
+// clusterFor returns the largest swept cluster size valid for the core
+// count under the fabric, and whether one exists. Largest first is a
+// model-informed prior: bigger clusters mean fewer mesh routers, so
+// the max-cluster point usually dominates its smaller-cluster siblings
+// and is the right place to enter the mesh axis; the cluster-step
+// mutations then explore downward from there.
+func (g *adaptiveGenerator) clusterFor(cores int, fabric chip.InterconnectKind) (int, bool) {
+	if fabric != chip.Mesh {
+		return 1, true
+	}
+	for i := len(g.clusters) - 1; i >= 0; i-- {
+		if cl := g.clusters[i]; cl > 0 && cores%cl == 0 {
+			return cl, true
+		}
+	}
+	return 0, false
+}
+
+func candidateOf(k axisKey) Candidate {
+	return Candidate{Cores: k.cores, L2PerCoreKB: k.l2kb, Fabric: k.fabric, ClusterSize: k.cluster}
+}
+
+// take claims the design point for the batch if it is legal, unvisited,
+// and budget remains; it reports whether the point was added.
+func (g *adaptiveGenerator) take(k axisKey, batch *[]Candidate) bool {
+	if g.proposed >= g.budget || !g.legal(k) || g.visited[k] {
+		return false
+	}
+	g.visited[k] = true
+	g.proposed++
+	*batch = append(*batch, candidateOf(k))
+	return true
+}
+
+// randomKey draws one uniformly random legal design point; ok is false
+// when the bounded retry budget finds none (a nearly exhausted space).
+func (g *adaptiveGenerator) randomKey() (axisKey, bool) {
+	for try := 0; try < 128; try++ {
+		k := axisKey{
+			cores:  g.cores[g.rng.Intn(len(g.cores))],
+			l2kb:   g.l2kb[g.rng.Intn(len(g.l2kb))],
+			fabric: g.fabrics[g.rng.Intn(len(g.fabrics))],
+		}
+		if k.fabric == chip.Mesh {
+			// Largest valid cluster (the model-informed prior): random
+			// samples land on the point most likely to be non-dominated;
+			// smaller clusters are reached by cluster-step mutations.
+			cl, ok := g.clusterFor(k.cores, k.fabric)
+			if !ok {
+				continue
+			}
+			k.cluster = cl
+		} else {
+			k.cluster = 1
+		}
+		if g.legal(k) && !g.visited[k] {
+			return k, true
+		}
+	}
+	return axisKey{}, false
+}
+
+// seedBatch is the first generation: all four corners of the cores×L2
+// lattice for every fabric, plus random fill. The corners anchor the
+// axis extremes every single-objective optimum tends to live near —
+// and when a corner is over budget, its infeasible evaluation starts a
+// descent toward the constraint boundary.
+func (g *adaptiveGenerator) seedBatch() []Candidate {
+	var batch []Candidate
+	corner := func(cores, l2 int, f chip.InterconnectKind) {
+		if cl, ok := g.clusterFor(cores, f); ok {
+			g.take(axisKey{cores, l2, f, cl}, &batch)
+		}
+	}
+	minC, maxC := g.cores[0], g.cores[len(g.cores)-1]
+	minL, maxL := g.l2kb[0], g.l2kb[len(g.l2kb)-1]
+	for _, f := range g.fabrics {
+		corner(minC, minL, f)
+		corner(maxC, minL, f)
+		corner(minC, maxL, f)
+		corner(maxC, maxL, f)
+	}
+
+	target := 4*len(g.fabrics) + 2
+	if lim := g.budget / 2; target > lim {
+		target = lim
+	}
+	for len(batch) < target {
+		k, ok := g.randomKey()
+		if !ok {
+			break
+		}
+		g.take(k, &batch)
+	}
+	return batch
+}
+
+// stepInts visits the values step indices below and above cur in vals.
+func stepInts(vals []int, cur, step int, visit func(int)) {
+	i := sort.SearchInts(vals, cur)
+	if j := i - step; j >= 0 {
+		visit(vals[j])
+	}
+	if j := i + step; j < len(vals) {
+		visit(vals[j])
+	}
+}
+
+// neighbors yields the one-axis mutations of a front member at the
+// given index distance, in a fixed order: step along cores, then L2,
+// then (at step 1 only) the adjacent fabrics and mesh cluster sizes. A
+// fabric step entering mesh picks the first valid cluster; a step
+// leaving mesh collapses the cluster to 1 — the minimal second-axis
+// adjustment legality forces.
+func (g *adaptiveGenerator) neighbors(c *Candidate, step int, visit func(axisKey)) {
+	base := axisKey{c.Cores, c.L2PerCoreKB, c.Fabric, c.ClusterSize}
+	// visitMesh offers the moved point and, when the inherited cluster is
+	// not the largest valid one, its max-cluster sibling too: the sibling
+	// has fewer routers and usually dominates, so skipping it would let
+	// inherited small-cluster points squat on the front unchallenged.
+	visitMesh := func(k axisKey) {
+		if k.fabric == chip.Mesh {
+			if cl, ok := g.clusterFor(k.cores, k.fabric); ok {
+				if !g.legal(k) {
+					k.cluster = cl
+				} else if k.cluster != cl {
+					sib := k
+					sib.cluster = cl
+					visit(sib)
+				}
+			}
+		}
+		visit(k)
+	}
+	stepInts(g.cores, base.cores, step, func(v int) {
+		k := base
+		k.cores = v
+		visitMesh(k)
+	})
+	stepInts(g.l2kb, base.l2kb, step, func(v int) {
+		k := base
+		k.l2kb = v
+		visitMesh(k)
+	})
+	if step != 1 {
+		return
+	}
+	g.siblings(base, visitMesh)
+}
+
+// siblings yields the fabric-adjacent and (on mesh) cluster-adjacent
+// variants of a design point — the candidates most likely to dominate
+// it outright, since they share its cores and L2 and differ only in
+// interconnect cost.
+func (g *adaptiveGenerator) siblings(base axisKey, visit func(axisKey)) {
+	for fi, f := range g.fabrics {
+		if f != base.fabric {
+			continue
+		}
+		for _, fj := range []int{fi - 1, fi + 1} {
+			if fj < 0 || fj >= len(g.fabrics) {
+				continue
+			}
+			k := base
+			k.fabric = g.fabrics[fj]
+			if cl, ok := g.clusterFor(k.cores, k.fabric); ok {
+				if k.fabric != chip.Mesh {
+					k.cluster = 1
+				} else if !g.legal(k) {
+					k.cluster = cl
+				}
+				visit(k)
+			}
+		}
+		break
+	}
+	if base.fabric == chip.Mesh {
+		stepInts(g.clusters, base.cluster, 1, func(v int) {
+			k := base
+			k.cluster = v
+			visit(k)
+		})
+	}
+}
+
+// challengers yields the candidates most likely to dominate a front
+// member in a cost-monotone model: its cores-one-down and L2-one-down
+// neighbors (same performance once the workload saturates, strictly
+// less power and area) and its fabric/cluster siblings. The audit
+// phase proposes exactly these, and the final front withholds any
+// member whose challengers were never all evaluated.
+func (g *adaptiveGenerator) challengers(c *Candidate, visit func(axisKey)) {
+	base := axisKey{c.Cores, c.L2PerCoreKB, c.Fabric, c.ClusterSize}
+	withSibling := func(k axisKey) {
+		visit(k)
+		if k.fabric == chip.Mesh {
+			if cl, ok := g.clusterFor(k.cores, k.fabric); ok && cl != k.cluster {
+				k.cluster = cl
+				visit(k)
+			}
+		}
+	}
+	stepInts(g.cores, base.cores, 1, func(v int) {
+		if v >= base.cores {
+			return
+		}
+		k := base
+		k.cores = v
+		if k.fabric == chip.Mesh && !g.legal(k) {
+			if cl, ok := g.clusterFor(v, k.fabric); ok {
+				k.cluster = cl
+			}
+		}
+		withSibling(k)
+	})
+	stepInts(g.l2kb, base.l2kb, 1, func(v int) {
+		if v >= base.l2kb {
+			return
+		}
+		k := base
+		k.l2kb = v
+		withSibling(k)
+	})
+	g.siblings(base, withSibling)
+}
+
+// verified reports whether every legal challenger of the candidate has
+// been proposed (and therefore evaluated): nothing the heuristic ranks
+// likely to dominate it is still unknown.
+func (g *adaptiveGenerator) verified(c *Candidate) bool {
+	ok := true
+	g.challengers(c, func(k axisKey) {
+		if g.legal(k) && !g.visited[k] {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// conclude prunes unverified members from the shared front. It runs
+// once, when the generator ends the search (budget exhausted, stall,
+// or space exhausted): the reported archive then contains only members
+// that survived evaluation of all their likely dominators, which is
+// what lets a 10%-budget search report a subset of the true front
+// instead of a superset polluted with unchallenged points.
+func (g *adaptiveGenerator) conclude() {
+	if g.concluded {
+		return
+	}
+	g.concluded = true
+	g.front.Filter(g.verified)
+}
+
+// descend proposes the index-decreasing cores and L2 neighbors of an
+// infeasible point (constraint-boundary search): if the point blew the
+// area or TDP budget, the nearest feasible designs lie one step down
+// the monotone axes. Probes that land infeasible again queue their own
+// descent, so the walk reaches the boundary in a few generations.
+func (g *adaptiveGenerator) descend(k axisKey, batch *[]Candidate) {
+	stepInts(g.cores, k.cores, 1, func(v int) {
+		if v >= k.cores {
+			return
+		}
+		n := k
+		n.cores = v
+		if n.fabric == chip.Mesh && !g.legal(n) {
+			if cl, ok := g.clusterFor(v, n.fabric); ok {
+				n.cluster = cl
+			}
+		}
+		g.take(n, batch)
+	})
+	stepInts(g.l2kb, k.l2kb, 1, func(v int) {
+		if v >= k.l2kb {
+			return
+		}
+		n := k
+		n.l2kb = v
+		g.take(n, batch)
+	})
+}
+
+func (g *adaptiveGenerator) Propose() []Candidate {
+	if g.proposed >= g.budget {
+		g.conclude()
+		return nil
+	}
+	if !g.seeded {
+		g.seeded = true
+		g.lastVersion = g.front.Version()
+		return g.seedBatch()
+	}
+
+	// A generation that neither changed the front nor had unvisited
+	// front neighbors to try was pure blind sampling; several in a row
+	// mean the search has converged and the leftover budget is better
+	// returned than burned.
+	if g.front.Version() == g.lastVersion && !g.prevFrontier {
+		g.stalled++
+	} else {
+		g.stalled = 0
+	}
+	g.lastVersion = g.front.Version()
+	if g.stalled >= stallLimit {
+		g.conclude()
+		return nil
+	}
+
+	genCap := g.budget / 6
+	if genCap < 8 {
+		genCap = 8
+	}
+	if remaining := g.budget - g.proposed; genCap > remaining {
+		genCap = remaining
+	}
+
+	// The last sixth of the budget is an audit sweep: only immediate
+	// (step-1) neighbors of front members are proposed, so the closing
+	// generations are spent challenging the members the search will
+	// report instead of opening new territory a spent budget could
+	// never refine. A member whose every immediate neighbor has been
+	// evaluated and lost is locally verified.
+	auditing := g.proposed >= g.budget-g.budget/6
+
+	// Boundary search first: descend from recent infeasible points
+	// toward the constraint boundary. Descent is capped at half the
+	// generation (the remainder stays queued) so a burst of infeasible
+	// probes can never starve front exploitation.
+	var batch []Candidate
+	descentCap := genCap / 2
+	for !auditing && len(g.pendInf) > 0 && len(batch) < descentCap {
+		k := g.pendInf[0]
+		g.pendInf = g.pendInf[1:]
+		g.descend(k, &batch)
+	}
+
+	// Exploit: unvisited mutations of the front, nearest steps first so
+	// local refinement wins when the cap bites, then doubling jumps so a
+	// wide axis is still crossed in a few generations. Members are
+	// visited from both ends of the axis-ordered archive inward: the
+	// extremes are where the single-objective optima live, so their
+	// neighborhoods must not starve when the generation cap bites.
+	members := g.front.Members()
+	order := make([]int, 0, len(members))
+	for lo, hi := 0, len(members)-1; lo <= hi; lo, hi = lo+1, hi-1 {
+		order = append(order, lo)
+		if hi != lo {
+			order = append(order, hi)
+		}
+	}
+	take := func(k axisKey) {
+		if len(batch) < genCap {
+			g.take(k, &batch)
+		}
+	}
+	if auditing {
+		for _, i := range order {
+			if len(batch) >= genCap {
+				break
+			}
+			g.challengers(&members[i], take)
+		}
+	} else {
+		maxLen := len(g.cores)
+		if len(g.l2kb) > maxLen {
+			maxLen = len(g.l2kb)
+		}
+		for step := 1; step < maxLen && len(batch) < genCap; step *= 2 {
+			for _, i := range order {
+				if len(batch) >= genCap {
+					break
+				}
+				g.neighbors(&members[i], step, take)
+			}
+		}
+	}
+	g.prevFrontier = len(batch) > 0
+
+	// Explore: a small random share each generation; the whole
+	// generation once the front's neighborhood is exhausted.
+	explore := genCap / 6
+	if explore < 1 {
+		explore = 1
+	}
+	if auditing {
+		explore = 0
+	} else if !g.prevFrontier {
+		explore = genCap
+	}
+	for i := 0; i < explore && len(batch) < genCap; i++ {
+		k, ok := g.randomKey()
+		if !ok {
+			break
+		}
+		g.take(k, &batch)
+	}
+
+	if len(batch) == 0 {
+		g.conclude() // reachable space exhausted
+		return nil
+	}
+	return batch
+}
+
+// Observe queues the generation's infeasible evaluations for descent;
+// feasible results need no bookkeeping here because the engine folds
+// them into the shared front before the next Propose.
+func (g *adaptiveGenerator) Observe(evaluated []Candidate) {
+	for _, c := range evaluated {
+		if c.Feasible {
+			continue
+		}
+		k := axisKey{c.Cores, c.L2PerCoreKB, c.Fabric, c.ClusterSize}
+		if g.descended[k] {
+			continue
+		}
+		g.descended[k] = true
+		g.pendInf = append(g.pendInf, k)
+	}
+}

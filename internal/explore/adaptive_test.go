@@ -1,0 +1,347 @@
+package explore
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"mcpat/internal/chip"
+)
+
+// validationSpaces are the spaces the pareto-vs-exhaustive equivalence
+// contract is pinned on: a wide 3-fabric space with a cluster axis, a
+// tightly constrained low-budget space including a bus fabric, and a
+// flat two-fabric space with no cluster axis. They are deliberately
+// diverse in feasible-region shape so the search cannot overfit one
+// constraint geometry.
+var validationSpaces = []struct {
+	name  string
+	space Space
+	cons  Constraints
+}{
+	{"wide", Space{
+		Cores:        []int{2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128, 256},
+		L2PerCoreKB:  []int{32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024, 1536, 2048, 4096},
+		Fabrics:      []chip.InterconnectKind{chip.Mesh, chip.Ring, chip.Crossbar},
+		ClusterSizes: []int{1, 2, 4},
+	}, Constraints{MaxAreaMM2: 600, MaxTDP: 400}},
+	{"tight", Space{
+		Cores:        []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64},
+		L2PerCoreKB:  []int{32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384},
+		Fabrics:      []chip.InterconnectKind{chip.Bus, chip.Ring, chip.Mesh},
+		ClusterSizes: []int{1, 2, 4},
+	}, Constraints{MaxAreaMM2: 150, MaxTDP: 100}},
+	{"flat", Space{
+		Cores:        []int{2, 4, 8, 16, 32, 64, 128},
+		L2PerCoreKB:  []int{32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384},
+		Fabrics:      []chip.InterconnectKind{chip.Ring, chip.Crossbar},
+		ClusterSizes: []int{1},
+	}, Constraints{MaxAreaMM2: 400, MaxTDP: 300}},
+}
+
+// objectiveValue recomputes a candidate's score under an objective,
+// letting one sweep's candidates be ranked under any objective.
+func objectiveValue(obj Objective, c *Candidate) float64 {
+	d := 1 / c.Perf
+	e := c.RunW * d
+	switch obj {
+	case MaxPerfPerWatt:
+		return c.Perf / c.RunW
+	case MinED2AP:
+		return 1 / (e * d * d * c.AreaMM2)
+	}
+	return c.Perf
+}
+
+func bestValue(res *Result, obj Objective) (float64, bool) {
+	best, found := 0.0, false
+	for i := range res.Candidates {
+		c := &res.Candidates[i]
+		if !c.Feasible {
+			continue
+		}
+		if v := objectiveValue(obj, c); !found || v > best {
+			best, found = v, true
+		}
+	}
+	return best, found
+}
+
+// TestParetoMatchesExhaustive pins the tentpole's acceptance contract:
+// on every validation space the pareto search recovers the exhaustive
+// sweep's best objective value for each single objective, reports a
+// front that is a subset of the exhaustive ground-truth front, and
+// spends at most 10% of the exhaustive evaluation count doing it.
+func TestParetoMatchesExhaustive(t *testing.T) {
+	for _, tc := range validationSpaces {
+		t.Run(tc.name, func(t *testing.T) {
+			size, err := tc.space.Size()
+			if err != nil {
+				t.Fatal(err)
+			}
+			truth, err := SearchContext(context.Background(), quickParams(), tc.space, tc.cons,
+				MaxThroughput, &Options{Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if truth.Evaluated != size {
+				t.Fatalf("exhaustive sweep evaluated %d of %d", truth.Evaluated, size)
+			}
+			inTruthFront := func(c *Candidate) bool {
+				for i := range truth.Front {
+					m := &truth.Front[i]
+					if m.Cores == c.Cores && m.L2PerCoreKB == c.L2PerCoreKB &&
+						m.Fabric == c.Fabric && m.ClusterSize == c.ClusterSize {
+						return true
+					}
+				}
+				return false
+			}
+
+			budget := size / 10
+			for _, obj := range []Objective{MaxThroughput, MaxPerfPerWatt, MinED2AP} {
+				for seed := int64(1); seed <= 2; seed++ {
+					res, err := SearchContext(context.Background(), quickParams(), tc.space, tc.cons, obj,
+						&Options{Workers: 4, Search: SearchPareto, Budget: budget, Seed: seed})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Evaluated > budget {
+						t.Fatalf("%v seed %d: %d evaluations exceed the 10%% budget %d",
+							obj, seed, res.Evaluated, budget)
+					}
+					if res.Search != SearchPareto || res.SpaceSize != size {
+						t.Fatalf("result metadata wrong: search=%v spaceSize=%d", res.Search, res.SpaceSize)
+					}
+					want, ok := bestValue(truth, obj)
+					if !ok {
+						t.Fatal("exhaustive sweep found nothing feasible")
+					}
+					got, ok := bestValue(res, obj)
+					if !ok {
+						t.Fatalf("%v seed %d: pareto search found nothing feasible", obj, seed)
+					}
+					// Same winner: identical best objective value (ties on the
+					// saturated throughput plateau make exact-axes comparison
+					// ill-defined; the objective value is the invariant).
+					if rel := (want - got) / want; rel > 1e-9 {
+						t.Errorf("%v seed %d: best %g vs exhaustive %g (missing %.2g rel)",
+							obj, seed, got, want, rel)
+					}
+					if res.Best == nil {
+						t.Fatalf("%v seed %d: no Best on a feasible space", obj, seed)
+					}
+					if len(res.Front) == 0 {
+						t.Fatalf("%v seed %d: empty front", obj, seed)
+					}
+					for i := range res.Front {
+						if !inTruthFront(&res.Front[i]) {
+							c := &res.Front[i]
+							t.Errorf("%v seed %d: front member %dc/%dKB/%v/cl%d is not Pareto-optimal in ground truth",
+								obj, seed, c.Cores, c.L2PerCoreKB, c.Fabric, c.ClusterSize)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParetoDeterministic pins that a (seed, space) pair replays the
+// identical candidate sequence and front at any worker count.
+func TestParetoDeterministic(t *testing.T) {
+	tc := validationSpaces[0]
+	var ref *Result
+	for _, workers := range []int{1, 3, 8} {
+		res, err := SearchContext(context.Background(), quickParams(), tc.space, tc.cons,
+			MaxThroughput, &Options{Workers: workers, Search: SearchPareto, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(ref.Candidates, res.Candidates) {
+			t.Errorf("candidate sequence differs between 1 and %d workers", workers)
+		}
+		if !reflect.DeepEqual(ref.Front, res.Front) {
+			t.Errorf("front differs between 1 and %d workers", workers)
+		}
+		if ref.Evaluated != res.Evaluated {
+			t.Errorf("evaluation count differs: %d vs %d", ref.Evaluated, res.Evaluated)
+		}
+	}
+	// And an identical repeat run reproduces the result bit for bit.
+	again, err := SearchContext(context.Background(), quickParams(), tc.space, tc.cons,
+		MaxThroughput, &Options{Workers: 3, Search: SearchPareto, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref.Candidates, again.Candidates) || !reflect.DeepEqual(ref.Front, again.Front) {
+		t.Error("same seed and space must replay the identical search")
+	}
+}
+
+// TestParetoFrontStreaming pins the OnFrontUpdate contract: serialized
+// snapshots with monotonically nondecreasing evaluation counts, each a
+// well-formed front of feasible members.
+func TestParetoFrontStreaming(t *testing.T) {
+	tc := validationSpaces[0]
+	var snaps [][]Candidate
+	var evals []int
+	res, err := SearchContext(context.Background(), quickParams(), tc.space, tc.cons,
+		MaxThroughput, &Options{
+			Workers: 4, Search: SearchPareto, Seed: 3,
+			OnFrontUpdate: func(front []Candidate, evaluated int) {
+				snaps = append(snaps, front)
+				evals = append(evals, evaluated)
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) < 2 {
+		t.Fatalf("a multi-generation search must stream several front updates, got %d", len(snaps))
+	}
+	for i, s := range snaps {
+		if len(s) == 0 {
+			t.Fatalf("snapshot %d is empty", i)
+		}
+		for j := range s {
+			if !s[j].Feasible {
+				t.Fatalf("snapshot %d carries an infeasible member", i)
+			}
+		}
+		if i > 0 && evals[i] < evals[i-1] {
+			t.Fatalf("evaluated counts must be nondecreasing: %v", evals)
+		}
+	}
+	if res.Evaluated < evals[len(evals)-1] {
+		t.Errorf("final Evaluated %d below last streamed count %d", res.Evaluated, evals[len(evals)-1])
+	}
+}
+
+// TestParetoCancelReturnsPartialFront cancels from inside a front
+// update — i.e. mid-search, deterministically after the first
+// improving generation — and verifies the partial result still carries
+// the front built so far alongside context.Canceled.
+func TestParetoCancelReturnsPartialFront(t *testing.T) {
+	tc := validationSpaces[0]
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var last []Candidate
+	res, err := SearchContext(ctx, quickParams(), tc.space, tc.cons,
+		MaxThroughput, &Options{
+			Workers: 4, Search: SearchPareto, Seed: 1,
+			OnFrontUpdate: func(front []Candidate, evaluated int) {
+				last = front
+				cancel()
+			},
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res == nil {
+		t.Fatal("partial result must accompany cancellation")
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("partial result must carry the front built so far")
+	}
+	if !reflect.DeepEqual(res.Front, last) {
+		t.Error("partial front must match the last streamed snapshot")
+	}
+	size, _ := tc.space.Size()
+	if res.Evaluated >= effectiveBudget(0, size) {
+		t.Errorf("cancellation should have cut the search short, evaluated %d", res.Evaluated)
+	}
+}
+
+// TestParetoBudgetSemantics pins effectiveBudget: the default is a
+// tenth of the space floored at defaultMinBudget, explicit budgets cap
+// at the space size, and OnProgress totals report the planned budget.
+func TestParetoBudgetSemantics(t *testing.T) {
+	if got := effectiveBudget(0, 1000); got != 100 {
+		t.Errorf("default budget for 1000 points = %d, want 100", got)
+	}
+	if got := effectiveBudget(0, 50); got != defaultMinBudget {
+		t.Errorf("default budget for 50 points = %d, want floor %d", got, defaultMinBudget)
+	}
+	if got := effectiveBudget(0, 10); got != 10 {
+		t.Errorf("default budget for 10 points = %d, want the whole space", got)
+	}
+	if got := effectiveBudget(5000, 100); got != 100 {
+		t.Errorf("explicit budget must cap at the space size, got %d", got)
+	}
+
+	space := Space{
+		Cores:        []int{8, 16, 32},
+		L2PerCoreKB:  []int{64, 256},
+		Fabrics:      []chip.InterconnectKind{chip.Ring},
+		ClusterSizes: []int{1},
+	}
+	planned, err := PlannedEvaluations(space, &Options{Search: SearchPareto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planned != 6 { // space of 6 points: budget caps at the space
+		t.Fatalf("planned = %d, want 6", planned)
+	}
+	var totals []int
+	res, err := SearchContext(context.Background(), quickParams(), space, Constraints{},
+		MaxThroughput, &Options{Workers: 2, Search: SearchPareto,
+			OnProgress: func(done, total int) { totals = append(totals, total) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated > planned {
+		t.Errorf("evaluated %d beyond planned %d", res.Evaluated, planned)
+	}
+	for _, tot := range totals {
+		if tot != planned {
+			t.Fatalf("OnProgress total %d, want planned budget %d", tot, planned)
+		}
+	}
+}
+
+func TestUnknownSearchKindRejected(t *testing.T) {
+	_, err := SearchContext(context.Background(), quickParams(), singlePoint(), Constraints{},
+		MaxThroughput, &Options{Search: SearchKind(99)})
+	if err == nil {
+		t.Fatal("an unknown search kind must be rejected")
+	}
+}
+
+func TestExhaustiveFillsGroundTruthFront(t *testing.T) {
+	res, err := SearchContext(context.Background(), quickParams(), Space{
+		Cores:        []int{8, 16, 32},
+		L2PerCoreKB:  []int{64, 256},
+		Fabrics:      []chip.InterconnectKind{chip.Ring},
+		ClusterSizes: []int{1},
+	}, Constraints{}, MaxThroughput, &Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Search != SearchExhaustive {
+		t.Errorf("default search kind must be exhaustive, got %v", res.Search)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("the exhaustive sweep must fill Result.Front")
+	}
+	// Every front member must be feasible and non-dominated within the
+	// evaluated candidates.
+	for i := range res.Front {
+		fi := res.Front[i].Objectives()
+		for j := range res.Candidates {
+			c := &res.Candidates[j]
+			if !c.Feasible {
+				continue
+			}
+			cj := c.Objectives()
+			if dominates(&cj, &fi) {
+				t.Fatalf("front member %+v dominated by evaluated %+v", res.Front[i], *c)
+			}
+		}
+	}
+}

@@ -133,7 +133,22 @@ type Result struct {
 	Best       *Candidate  // nil if nothing feasible
 	Evaluated  int         // points whose evaluation ran (including failures)
 	Feasible   int
-	Failures   []Failure // hard per-candidate failures, in enumeration order
+	Failures   []Failure // hard per-candidate failures, in proposal order
+
+	// Front is the Pareto-optimal subset of the evaluated feasible
+	// candidates over {power, area, delay, ED², EDA}, in deterministic
+	// axis order. Both engines fill it: for the exhaustive sweep it is
+	// the ground-truth front of the whole space, for the pareto search
+	// it is the archive the generations converged to.
+	Front []Candidate
+
+	// SpaceSize is the full cross-product size of the (defaulted)
+	// space; Evaluated/SpaceSize is the fraction of the space the
+	// search actually paid for.
+	SpaceSize int
+
+	// Search records the strategy that produced the result.
+	Search SearchKind
 
 	// Cache reports the array-synthesis cache activity attributable to
 	// this sweep (counter deltas over the sweep; Entries is the resident
@@ -191,11 +206,44 @@ type Options struct {
 	// OnProgress, when non-nil, is invoked after each candidate
 	// evaluation completes (successes, rejections, and failures alike).
 	// done is strictly increasing from 1 and never exceeds total, which
-	// is fixed at the size of the enumerated space; calls are serialized,
-	// so the callback needs no locking of its own. A cancelled sweep
-	// stops reporting before done reaches total. The callback runs on
-	// worker goroutines and must not block for long.
+	// is fixed at the planned evaluation count (the space size for the
+	// exhaustive sweep, the effective budget for the pareto search);
+	// calls are serialized, so the callback needs no locking of its own.
+	// A cancelled — or early-converged pareto — sweep stops reporting
+	// before done reaches total. The callback runs on worker goroutines
+	// and must not block for long.
 	OnProgress func(done, total int)
+
+	// Search selects the candidate-generation strategy: SearchExhaustive
+	// (the zero value) sweeps the full cross-product, SearchPareto runs
+	// the adaptive multi-objective search under an evaluation budget.
+	Search SearchKind
+
+	// Budget bounds the candidate evaluations a pareto search may
+	// issue. <= 0 selects the default: a tenth of the space size,
+	// floored at 24; explicit budgets are capped at the space size.
+	// The exhaustive sweep ignores it.
+	Budget int
+
+	// Seed seeds the pareto search's generator. Equal seeds over equal
+	// spaces replay the identical proposal sequence — and therefore the
+	// identical front — at any worker count. 0 selects seed 1, so the
+	// default is deterministic too.
+	Seed int64
+
+	// FrontSize caps the Pareto archive: when a new member would exceed
+	// it, the most crowded interior member is dropped
+	// (crowding-distance truncation; axis extremes are never dropped).
+	// <= 0 leaves the front unbounded.
+	FrontSize int
+
+	// OnFrontUpdate, when non-nil, is invoked after each generation
+	// whose evaluations changed the Pareto front, with a fresh snapshot
+	// of the front and the number of candidates evaluated so far. Calls
+	// are serialized on the engine goroutine. The exhaustive sweep
+	// reports once at the end; the pareto search streams one update per
+	// improving generation.
+	OnFrontUpdate func(front []Candidate, evaluated int)
 }
 
 func (o *Options) defaults() Options {
@@ -244,33 +292,121 @@ func (p *Params) defaults() error {
 }
 
 // Size returns the number of design points the space enumerates after
-// defaulting - the total a sweep over it will evaluate (and the total
-// Options.OnProgress reports).
-func (s Space) Size() int {
+// defaulting - the total an exhaustive sweep over it will evaluate (and
+// the total Options.OnProgress reports). The size is computed
+// arithmetically, and a cross-product large enough to overflow int is
+// rejected with guard.ErrConfig instead of being reported as a silently
+// wrapped (possibly negative) count.
+func (s Space) Size() (int, error) {
 	sp := s
 	sp.defaults()
-	return len(enumerate(sp))
+	// Points per (cores, L2) pair: every mesh fabric carries the full
+	// cluster axis, every other fabric collapses it to a single point.
+	perPair := 0
+	for _, f := range sp.Fabrics {
+		if f == chip.Mesh {
+			perPair += len(sp.ClusterSizes)
+		} else {
+			perPair++
+		}
+	}
+	size := perPair
+	for _, n := range []int{len(sp.Cores), len(sp.L2PerCoreKB)} {
+		next := size * n
+		if next/n != size || next < 0 {
+			return 0, guard.Configf("dse.space",
+				"design space cross-product overflows int (%d cores × %d L2 × %d fabric/cluster points)",
+				len(sp.Cores), len(sp.L2PerCoreKB), perPair)
+		}
+		size = next
+	}
+	return size, nil
 }
 
-// enumerate lists every design point of the space in deterministic
-// order; the result ordering of a sweep derives from this order, so runs
-// are reproducible regardless of worker count.
+// PlannedEvaluations returns the progress total a sweep over the space
+// reports under the given options: the full cross-product size for the
+// exhaustive search, the effective evaluation budget for the pareto
+// search. Like Size, it rejects an int-overflowing cross-product with
+// guard.ErrConfig.
+func PlannedEvaluations(space Space, opts *Options) (int, error) {
+	size, err := space.Size()
+	if err != nil {
+		return 0, err
+	}
+	o := opts.defaults()
+	if o.Search == SearchPareto {
+		return effectiveBudget(o.Budget, size), nil
+	}
+	return size, nil
+}
+
+// defaultMinBudget floors the default pareto budget so tiny spaces
+// still get a seed sample plus a few mutation generations.
+const defaultMinBudget = 24
+
+// effectiveBudget resolves the pareto evaluation budget: an explicit
+// positive budget is honored (capped at the space size, since the
+// generator never revisits a point); otherwise the default is a tenth
+// of the space, floored at defaultMinBudget.
+func effectiveBudget(budget, size int) int {
+	if budget <= 0 {
+		budget = size / 10
+		if budget < defaultMinBudget {
+			budget = defaultMinBudget
+		}
+	}
+	if budget > size {
+		budget = size
+	}
+	return budget
+}
+
+// enumerate lists every design point of the space in a deterministic
+// boustrophedon (Gray-code-style) order: each inner axis reverses
+// direction whenever its outer axis advances, so consecutive candidates
+// differ in as few axes as possible - usually exactly one. Sweep result
+// ordering derives from this order, so runs are reproducible regardless
+// of worker count; the snake order additionally gives plain exhaustive
+// sweeps the delta shape the subsystem cache serves best, because a
+// one-axis step leaves every other subsystem's synthesis a pure cache
+// hit.
 func enumerate(space Space) []Candidate {
 	var specs []Candidate
+	pick := func(vals []int, i int, rev bool) int {
+		if rev {
+			return vals[len(vals)-1-i]
+		}
+		return vals[i]
+	}
+	l2Rev, fabRev, clRev := false, false, false
 	for _, cores := range space.Cores {
-		for _, l2kb := range space.L2PerCoreKB {
-			for _, fab := range space.Fabrics {
+		for li := range space.L2PerCoreKB {
+			l2kb := pick(space.L2PerCoreKB, li, l2Rev)
+			for fi := range space.Fabrics {
+				fj := fi
+				if fabRev {
+					fj = len(space.Fabrics) - 1 - fi
+				}
+				fab := space.Fabrics[fj]
 				clusterSizes := space.ClusterSizes
 				if fab != chip.Mesh {
 					clusterSizes = []int{1}
 				}
-				for _, cl := range clusterSizes {
+				for ci := range clusterSizes {
 					specs = append(specs, Candidate{
-						Cores: cores, L2PerCoreKB: l2kb, Fabric: fab, ClusterSize: cl,
+						Cores: cores, L2PerCoreKB: l2kb, Fabric: fab,
+						ClusterSize: pick(clusterSizes, ci, clRev),
 					})
 				}
+				if fab == chip.Mesh {
+					// The next mesh run resumes from this end of the
+					// cluster axis.
+					clRev = !clRev
+				}
 			}
+			fabRev = !fabRev
 		}
+		l2Rev = !l2Rev
 	}
 	return specs
 }
@@ -336,6 +472,14 @@ func Search(p Params, space Space, cons Constraints, obj Objective) (*Result, er
 // SearchContext runs the exploration on a bounded worker pool under the
 // caller's context.
 //
+// Strategy: Options.Search picks the candidate generator. The default
+// exhaustive sweep proposes the whole cross-product in one batch; the
+// pareto search proposes a seeded sample and then generations of
+// one-axis mutations of the current front, bounded by Options.Budget.
+// Both run through the same worker pool, progress, failure, and
+// cancellation plumbing, and both leave the evaluated Pareto front in
+// Result.Front.
+//
 // Fault tolerance: each candidate is evaluated behind its own panic
 // recovery and (optional) deadline, so one poisoned design point cannot
 // abort the sweep - it is reported in Result.Failures and the surviving
@@ -345,8 +489,9 @@ func Search(p Params, space Space, cons Constraints, obj Objective) (*Result, er
 //
 // Cancellation: when ctx is cancelled mid-sweep the engine stops
 // promptly, abandons in-flight evaluations, and returns the partial
-// result together with ctx.Err(). Result ordering is deterministic for a
-// given space regardless of worker count or completion order.
+// result - including the partial front - together with ctx.Err().
+// Result ordering is deterministic for a given space (and, for the
+// pareto search, seed) regardless of worker count or completion order.
 func SearchContext(ctx context.Context, p Params, space Space, cons Constraints, obj Objective, opts *Options) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -357,18 +502,31 @@ func SearchContext(ctx context.Context, p Params, space Space, cons Constraints,
 	space.defaults()
 	o := opts.defaults()
 
-	specs := enumerate(space)
+	size, err := space.Size()
+	if err != nil {
+		return nil, err
+	}
+	front := NewParetoFront(o.FrontSize)
+	var gen Generator
+	planned := size
+	switch o.Search {
+	case SearchExhaustive:
+		gen = newExhaustiveGenerator(space)
+	case SearchPareto:
+		planned = effectiveBudget(o.Budget, size)
+		seed := o.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		gen = newAdaptiveGenerator(space, front, planned, seed)
+	default:
+		return nil, guard.Configf("dse", "unknown search kind %d", int(o.Search))
+	}
+
 	cacheBefore := array.Stats()
 	subsysBefore := component.Stats()
 	optBefore := array.OptStats()
 	diskBefore := persist.DefaultStats()
-
-	type outcome struct {
-		cand Candidate
-		err  error
-		ran  bool
-	}
-	outs := make([]outcome, len(specs))
 
 	// A derived context lets FailFast stop the pool without conflating
 	// that with caller cancellation.
@@ -376,71 +534,53 @@ func SearchContext(ctx context.Context, p Params, space Space, cons Constraints,
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	var (
-		firstFailure error
-		failMu       sync.Mutex
+	eng := &engine{
+		ctx: ctx, cancel: cancel,
+		o: &o, p: p, cons: cons, obj: obj,
+		total: planned,
+	}
 
-		progressMu   sync.Mutex
-		progressDone int
-	)
-	reportProgress := func() {
-		if o.OnProgress == nil {
-			return
+	var outs []outcome
+	notified := front.Version()
+	for parent.Err() == nil && ctx.Err() == nil {
+		batch := gen.Propose()
+		if len(batch) == 0 {
+			break
 		}
-		progressMu.Lock()
-		progressDone++
-		o.OnProgress(progressDone, len(specs))
-		progressMu.Unlock()
-	}
-
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	workers := o.Workers
-	if workers > len(specs) {
-		workers = len(specs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range jobs {
-				if ctx.Err() != nil {
-					continue // drain without evaluating
-				}
-				cand := specs[idx]
-				err := evalCandidate(ctx, &o, p, cons, obj, &cand)
-				outs[idx] = outcome{cand: cand, err: err, ran: true}
-				reportProgress()
-				if err != nil && o.FailFast {
-					failMu.Lock()
-					if firstFailure == nil {
-						firstFailure = err
-					}
-					failMu.Unlock()
-					cancel()
-				}
+		bouts := eng.evalBatch(batch)
+		evaluated := make([]Candidate, 0, len(bouts))
+		for i := range bouts {
+			if !bouts[i].ran || bouts[i].err != nil {
+				continue
 			}
-		}()
-	}
-feed:
-	for i := range specs {
-		select {
-		case jobs <- i:
-		case <-ctx.Done():
-			break feed
+			evaluated = append(evaluated, bouts[i].cand)
+			front.Add(bouts[i].cand)
+		}
+		outs = append(outs, bouts...)
+		gen.Observe(evaluated)
+		if o.OnFrontUpdate != nil && front.Version() != notified {
+			notified = front.Version()
+			o.OnFrontUpdate(front.Members(), eng.done())
+		}
+		if o.FailFast && eng.failure() != nil {
+			break
 		}
 	}
-	close(jobs)
-	wg.Wait()
+	// The generator may trim the archive as it concludes (the adaptive
+	// search withholds unverified members); stream that final state too,
+	// so an observer's last snapshot always matches Result.Front.
+	if o.OnFrontUpdate != nil && front.Version() != notified {
+		o.OnFrontUpdate(front.Members(), eng.done())
+	}
 
 	res := &Result{
-		Cache:    array.Stats().Delta(cacheBefore),
-		Subsys:   component.Stats().Delta(subsysBefore),
-		ArrayOpt: array.OptStats().Delta(optBefore),
-		Disk:     persist.DefaultStats().Delta(diskBefore),
+		Search:    o.Search,
+		SpaceSize: size,
+		Front:     front.Members(),
+		Cache:     array.Stats().Delta(cacheBefore),
+		Subsys:    component.Stats().Delta(subsysBefore),
+		ArrayOpt:  array.OptStats().Delta(optBefore),
+		Disk:      persist.DefaultStats().Delta(diskBefore),
 	}
 	for i := range outs {
 		if !outs[i].ran {
@@ -469,10 +609,112 @@ feed:
 	if err := parent.Err(); err != nil {
 		return res, err
 	}
-	if o.FailFast && firstFailure != nil {
-		return res, firstFailure
+	if o.FailFast {
+		if err := eng.failure(); err != nil {
+			return res, err
+		}
 	}
 	return res, nil
+}
+
+// outcome is one candidate's evaluation result; ran is false when
+// cancellation drained the job before it started.
+type outcome struct {
+	cand Candidate
+	err  error
+	ran  bool
+}
+
+// engine carries the per-sweep evaluation state shared across batches:
+// the derived context, progress accounting against the planned total,
+// and the first hard failure for FailFast.
+type engine struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	o      *Options
+	p      Params
+	cons   Constraints
+	obj    Objective
+	total  int
+
+	mu           sync.Mutex
+	progressDone int
+	firstFailure error
+}
+
+func (e *engine) done() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.progressDone
+}
+
+func (e *engine) failure() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.firstFailure
+}
+
+// reportProgress serializes OnProgress callbacks under the engine
+// mutex, preserving the strictly-increasing contract across batches and
+// workers.
+func (e *engine) reportProgress() {
+	e.mu.Lock()
+	e.progressDone++
+	if e.o.OnProgress != nil {
+		e.o.OnProgress(e.progressDone, e.total)
+	}
+	e.mu.Unlock()
+}
+
+// evalBatch evaluates one proposed batch on a bounded worker pool and
+// returns the outcomes in proposal order. Cancellation (caller or
+// FailFast) stops the feed promptly; drained jobs come back with
+// ran == false.
+func (e *engine) evalBatch(specs []Candidate) []outcome {
+	outs := make([]outcome, len(specs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	workers := e.o.Workers
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				if e.ctx.Err() != nil {
+					continue // drain without evaluating
+				}
+				cand := specs[idx]
+				err := evalCandidate(e.ctx, e.o, e.p, e.cons, e.obj, &cand)
+				outs[idx] = outcome{cand: cand, err: err, ran: true}
+				e.reportProgress()
+				if err != nil && e.o.FailFast {
+					e.mu.Lock()
+					if e.firstFailure == nil {
+						e.firstFailure = err
+					}
+					e.mu.Unlock()
+					e.cancel()
+				}
+			}
+		}()
+	}
+feed:
+	for i := range specs {
+		select {
+		case jobs <- i:
+		case <-e.ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return outs
 }
 
 // evalCandidate evaluates one design point behind its own panic-recovery

@@ -1,0 +1,80 @@
+package explore
+
+import "fmt"
+
+// SearchKind selects the candidate-generation strategy of a sweep.
+type SearchKind int
+
+const (
+	// SearchExhaustive enumerates the full cross-product of the space
+	// (the classic sweep; the zero value, so existing callers are
+	// unchanged).
+	SearchExhaustive SearchKind = iota
+	// SearchPareto runs the adaptive multi-objective search: a seeded
+	// sample followed by one-axis mutations of the current Pareto front,
+	// bounded by an evaluation budget.
+	SearchPareto
+)
+
+func (k SearchKind) String() string {
+	switch k {
+	case SearchExhaustive:
+		return "exhaustive"
+	case SearchPareto:
+		return "pareto"
+	}
+	return fmt.Sprintf("SearchKind(%d)", int(k))
+}
+
+// ParseSearchKind maps a search name to its kind. The empty string
+// selects the exhaustive sweep.
+func ParseSearchKind(name string) (SearchKind, error) {
+	switch name {
+	case "", "exhaustive":
+		return SearchExhaustive, nil
+	case "pareto":
+		return SearchPareto, nil
+	}
+	return 0, fmt.Errorf("unknown search %q (exhaustive|pareto)", name)
+}
+
+// Generator proposes candidate design points for the engine to evaluate
+// and observes the outcomes, closing the propose→evaluate→observe loop
+// that both the exhaustive sweep and the adaptive search run on. The
+// engine owns all concurrency: Propose and Observe are called from a
+// single goroutine, strictly alternating, so implementations need no
+// locking and stay deterministic; the worker pool only parallelizes the
+// evaluations inside one proposed batch.
+type Generator interface {
+	// Propose returns the next batch of design points (axes populated,
+	// metrics zero). An empty batch ends the search. The engine never
+	// calls Propose again after a cancellation.
+	Propose() []Candidate
+	// Observe reports the batch's evaluated candidates in proposal
+	// order: metrics filled in for feasible points, Reject set for
+	// budget/validity rejections. Candidates whose evaluation failed
+	// hard (panic, timeout) or was abandoned by cancellation are
+	// omitted.
+	Observe(evaluated []Candidate)
+}
+
+// exhaustiveGenerator proposes the entire enumerated space as one
+// batch, reproducing the classic sweep through the generator loop.
+type exhaustiveGenerator struct {
+	specs []Candidate
+	done  bool
+}
+
+func newExhaustiveGenerator(space Space) *exhaustiveGenerator {
+	return &exhaustiveGenerator{specs: enumerate(space)}
+}
+
+func (g *exhaustiveGenerator) Propose() []Candidate {
+	if g.done {
+		return nil
+	}
+	g.done = true
+	return g.specs
+}
+
+func (g *exhaustiveGenerator) Observe([]Candidate) {}

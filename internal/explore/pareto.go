@@ -1,0 +1,209 @@
+package explore
+
+import (
+	"math"
+	"sort"
+)
+
+// objectiveAxes is the dimensionality of the multi-objective vector the
+// Pareto front is maintained over: {power, area, delay, ED², EDA}.
+const objectiveAxes = 5
+
+// Objectives returns the minimized multi-objective vector of a feasible
+// candidate: runtime power (W), area (mm²), delay (s/instruction), and
+// the two fused figures of merit, energy·delay² and energy·delay·area.
+// The fused axes are redundant for dominance (a point better on all of
+// power/area/delay is better on both products too) but they are the
+// quantities the McPAT-style studies rank by, so the front carries them
+// explicitly and crowding-distance truncation spreads along them.
+func (c *Candidate) Objectives() [objectiveAxes]float64 {
+	d := 1 / c.Perf // delay per instruction
+	e := c.RunW * d // energy per instruction
+	return [objectiveAxes]float64{
+		c.RunW,
+		c.AreaMM2,
+		d,
+		e * d * d,
+		e * d * c.AreaMM2,
+	}
+}
+
+// dominates reports whether a Pareto-dominates b: no worse on every
+// minimized axis and strictly better on at least one.
+func dominates(a, b *[objectiveAxes]float64) bool {
+	strict := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// axisLess orders candidates by their design axes; the front keeps its
+// archive in this order so every traversal (mutation scans, snapshots,
+// truncation tie-breaks) is deterministic regardless of insertion order.
+func axisLess(a, b *Candidate) bool {
+	if a.Cores != b.Cores {
+		return a.Cores < b.Cores
+	}
+	if a.L2PerCoreKB != b.L2PerCoreKB {
+		return a.L2PerCoreKB < b.L2PerCoreKB
+	}
+	if a.Fabric != b.Fabric {
+		return a.Fabric < b.Fabric
+	}
+	return a.ClusterSize < b.ClusterSize
+}
+
+// frontMember pairs an archived candidate with its cached objective
+// vector so dominance checks do not recompute it.
+type frontMember struct {
+	cand Candidate
+	obj  [objectiveAxes]float64
+}
+
+// ParetoFront is the archive of mutually non-dominated feasible
+// candidates a multi-objective search maintains. Membership is exact:
+// a new point enters only if no member dominates it, and it evicts every
+// member it dominates. When a maximum size is set the archive truncates
+// by NSGA-II crowding distance (extreme points on every axis are kept,
+// the most crowded interior point is dropped), so a bounded front keeps
+// its spread. All operations are deterministic: the archive is kept in
+// axis order and ties break on that order, never on map or timing
+// nondeterminism. The type is not goroutine-safe; the search engine
+// serializes access.
+type ParetoFront struct {
+	maxSize int // <= 0: unbounded
+	members []frontMember
+	version uint64
+}
+
+// NewParetoFront returns an empty front. maxSize <= 0 leaves the
+// archive unbounded; otherwise crowding-distance truncation keeps at
+// most maxSize members.
+func NewParetoFront(maxSize int) *ParetoFront {
+	return &ParetoFront{maxSize: maxSize}
+}
+
+// Len returns the number of archived members.
+func (f *ParetoFront) Len() int { return len(f.members) }
+
+// Version increments on every membership change; generators use it to
+// detect stalled searches without copying the archive.
+func (f *ParetoFront) Version() uint64 { return f.version }
+
+// Add offers a feasible candidate to the archive. It reports whether
+// membership changed: false means the point was dominated (or a
+// duplicate design point) and the front is untouched.
+func (f *ParetoFront) Add(c Candidate) bool {
+	if !c.Feasible {
+		return false
+	}
+	obj := c.Objectives()
+	for i := range f.members {
+		m := &f.members[i]
+		if m.cand.Cores == c.Cores && m.cand.L2PerCoreKB == c.L2PerCoreKB &&
+			m.cand.Fabric == c.Fabric && m.cand.ClusterSize == c.ClusterSize {
+			return false // same design point already archived
+		}
+		if dominates(&m.obj, &obj) {
+			return false // strictly covered by an existing member
+		}
+	}
+	kept := f.members[:0]
+	for i := range f.members {
+		if !dominates(&obj, &f.members[i].obj) {
+			kept = append(kept, f.members[i])
+		}
+	}
+	f.members = append(kept, frontMember{cand: c, obj: obj})
+	sort.Slice(f.members, func(i, j int) bool {
+		return axisLess(&f.members[i].cand, &f.members[j].cand)
+	})
+	if f.maxSize > 0 {
+		for len(f.members) > f.maxSize {
+			f.dropMostCrowded()
+		}
+	}
+	f.version++
+	return true
+}
+
+// Filter removes every member the predicate rejects and reports
+// whether the archive changed. The adaptive search uses it to withhold
+// unverified members — points whose likely dominators never got
+// evaluated before the budget ran out — from the reported front.
+func (f *ParetoFront) Filter(keep func(*Candidate) bool) bool {
+	kept := f.members[:0]
+	for i := range f.members {
+		if keep(&f.members[i].cand) {
+			kept = append(kept, f.members[i])
+		}
+	}
+	changed := len(kept) != len(f.members)
+	f.members = kept
+	if changed {
+		f.version++
+	}
+	return changed
+}
+
+// Members returns a snapshot of the archive in axis order.
+func (f *ParetoFront) Members() []Candidate {
+	out := make([]Candidate, len(f.members))
+	for i := range f.members {
+		out[i] = f.members[i].cand
+	}
+	return out
+}
+
+// dropMostCrowded removes the member with the smallest crowding
+// distance (the densest interior point). Axis-extreme members carry an
+// infinite distance and are never dropped, which preserves the
+// single-objective optima a bounded front exists to report. Ties drop
+// the axis-largest member, keeping truncation deterministic.
+func (f *ParetoFront) dropMostCrowded() {
+	n := len(f.members)
+	if n <= 2 {
+		f.members = f.members[:n-1]
+		return
+	}
+	dist := make([]float64, n)
+	idx := make([]int, n)
+	for a := 0; a < objectiveAxes; a++ {
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(i, j int) bool {
+			vi, vj := f.members[idx[i]].obj[a], f.members[idx[j]].obj[a]
+			if vi != vj {
+				return vi < vj
+			}
+			return idx[i] < idx[j]
+		})
+		lo, hi := f.members[idx[0]].obj[a], f.members[idx[n-1]].obj[a]
+		dist[idx[0]] = math.Inf(1)
+		dist[idx[n-1]] = math.Inf(1)
+		span := hi - lo
+		if span <= 0 {
+			continue // degenerate axis: contributes nothing
+		}
+		for i := 1; i < n-1; i++ {
+			gap := (f.members[idx[i+1]].obj[a] - f.members[idx[i-1]].obj[a]) / span
+			if !math.IsInf(dist[idx[i]], 1) {
+				dist[idx[i]] += gap
+			}
+		}
+	}
+	drop := -1
+	for i := n - 1; i >= 0; i-- { // backwards: ties drop the axis-largest
+		if drop < 0 || dist[i] < dist[drop] {
+			drop = i
+		}
+	}
+	f.members = append(f.members[:drop], f.members[drop+1:]...)
+}

@@ -1,0 +1,183 @@
+package explore
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"mcpat/internal/chip"
+)
+
+// feasible builds a feasible candidate with the given design axes and
+// objective-driving metrics.
+func feasible(cores, l2 int, fab chip.InterconnectKind, cl int, runW, area, perf float64) Candidate {
+	return Candidate{
+		Cores: cores, L2PerCoreKB: l2, Fabric: fab, ClusterSize: cl,
+		RunW: runW, AreaMM2: area, Perf: perf, Feasible: true,
+	}
+}
+
+func TestDominates(t *testing.T) {
+	a := [objectiveAxes]float64{1, 1, 1, 1, 1}
+	b := [objectiveAxes]float64{2, 2, 2, 2, 2}
+	eq := a
+	mixed := [objectiveAxes]float64{0.5, 3, 1, 1, 1}
+	if !dominates(&a, &b) {
+		t.Error("strictly smaller vector must dominate")
+	}
+	if dominates(&b, &a) {
+		t.Error("strictly larger vector must not dominate")
+	}
+	if dominates(&a, &eq) || dominates(&eq, &a) {
+		t.Error("equal vectors must not dominate each other")
+	}
+	if dominates(&a, &mixed) || dominates(&mixed, &a) {
+		t.Error("trade-off vectors must be mutually non-dominated")
+	}
+}
+
+func TestParetoFrontAddEvictsDominated(t *testing.T) {
+	f := NewParetoFront(0)
+	weak := feasible(16, 256, chip.Mesh, 1, 50, 100, 1e11)
+	strong := feasible(32, 128, chip.Mesh, 1, 40, 90, 2e11) // better on all axes
+	if !f.Add(weak) {
+		t.Fatal("first feasible point must enter the front")
+	}
+	if !f.Add(strong) {
+		t.Fatal("a dominating point must enter the front")
+	}
+	got := f.Members()
+	if len(got) != 1 || got[0].Cores != 32 {
+		t.Fatalf("dominated member must be evicted, front = %+v", got)
+	}
+	if f.Add(weak) {
+		t.Error("a dominated point must be rejected")
+	}
+	if f.Len() != 1 {
+		t.Errorf("front length %d, want 1", f.Len())
+	}
+}
+
+func TestParetoFrontRejects(t *testing.T) {
+	f := NewParetoFront(0)
+	c := feasible(16, 256, chip.Mesh, 1, 50, 100, 1e11)
+	if f.Add(Candidate{Cores: 16, Feasible: false}) {
+		t.Error("infeasible candidates must never enter the front")
+	}
+	if !f.Add(c) {
+		t.Fatal("add failed")
+	}
+	v := f.Version()
+	dup := c
+	dup.RunW = 1 // same design point, different metrics: still a duplicate
+	if f.Add(dup) {
+		t.Error("duplicate design point must be rejected")
+	}
+	if f.Version() != v {
+		t.Error("rejected offers must not bump the version")
+	}
+}
+
+func TestParetoFrontKeepsTradeoffs(t *testing.T) {
+	f := NewParetoFront(0)
+	lowPower := feasible(2, 64, chip.Ring, 1, 5, 10, 1e10)
+	fast := feasible(64, 64, chip.Ring, 1, 150, 80, 8e11)
+	mid := feasible(16, 64, chip.Ring, 1, 40, 30, 2e11)
+	for _, c := range []Candidate{fast, lowPower, mid} {
+		if !f.Add(c) {
+			t.Fatalf("trade-off point %d cores must enter the front", c.Cores)
+		}
+	}
+	got := f.Members()
+	if len(got) != 3 {
+		t.Fatalf("want 3 mutually non-dominated members, got %d", len(got))
+	}
+	// Members come back in deterministic axis order regardless of
+	// insertion order.
+	for i := 1; i < len(got); i++ {
+		if !axisLess(&got[i-1], &got[i]) {
+			t.Fatalf("members not in axis order: %+v", got)
+		}
+	}
+}
+
+func TestParetoFrontCrowdingTruncation(t *testing.T) {
+	f := NewParetoFront(3)
+	// Four trade-off points chosen so every one of the five objective
+	// axes is strictly monotone along the chain (delay = {8,4,2,1},
+	// energy constant at 8, so ED² = {512,128,32,8} and EDA =
+	// {64,96,144,216}): the 2- and 8-core points are the extremes on
+	// every axis and must survive. Summing normalized gaps per axis by
+	// hand gives ~3.07 for the 3-core point vs ~3.24 for the 4-core
+	// point, so the 3-core member is the most crowded interior point —
+	// the one truncation must drop.
+	pts := []Candidate{
+		feasible(2, 64, chip.Ring, 1, 1, 1, 0.125), // slow, cool (extreme)
+		feasible(4, 64, chip.Ring, 1, 4, 9, 0.5),   // roomy interior
+		feasible(8, 64, chip.Ring, 1, 8, 27, 1),    // fast, hot (extreme)
+		feasible(3, 64, chip.Ring, 1, 2, 3, 0.25),  // crowded interior
+	}
+	for _, c := range pts {
+		f.Add(c)
+	}
+	got := f.Members()
+	if len(got) != 3 {
+		t.Fatalf("front must truncate to 3, got %d", len(got))
+	}
+	byCores := map[int]bool{}
+	for _, c := range got {
+		byCores[c.Cores] = true
+	}
+	if !byCores[2] || !byCores[8] {
+		t.Errorf("axis extremes must never be truncated, kept %v", byCores)
+	}
+	if byCores[3] {
+		t.Error("the most crowded interior point must be the one dropped")
+	}
+}
+
+func TestParetoFrontFilter(t *testing.T) {
+	f := NewParetoFront(0)
+	f.Add(feasible(2, 64, chip.Ring, 1, 5, 10, 1e10))
+	f.Add(feasible(64, 64, chip.Ring, 1, 150, 80, 8e11))
+	v := f.Version()
+	if f.Filter(func(*Candidate) bool { return true }) {
+		t.Error("keep-all filter must report no change")
+	}
+	if f.Version() != v {
+		t.Error("no-op filter must not bump the version")
+	}
+	if !f.Filter(func(c *Candidate) bool { return c.Cores != 64 }) {
+		t.Error("dropping a member must report a change")
+	}
+	got := f.Members()
+	if len(got) != 1 || got[0].Cores != 2 {
+		t.Fatalf("filter kept the wrong members: %+v", got)
+	}
+}
+
+func TestObjectivesVector(t *testing.T) {
+	c := feasible(16, 256, chip.Mesh, 1, 100, 50, 1e11)
+	obj := c.Objectives()
+	d := 1 / 1e11
+	e := 100 * d
+	want := [objectiveAxes]float64{100, 50, d, e * d * d, e * d * 50}
+	for i := range want {
+		if math.Abs(obj[i]-want[i]) > 1e-18*math.Abs(want[i]) {
+			t.Fatalf("objective axis %d = %g, want %g", i, obj[i], want[i])
+		}
+	}
+}
+
+func TestParetoFrontMembersIsSnapshot(t *testing.T) {
+	f := NewParetoFront(0)
+	f.Add(feasible(2, 64, chip.Ring, 1, 5, 10, 1e10))
+	snap := f.Members()
+	f.Add(feasible(64, 64, chip.Ring, 1, 150, 80, 8e11))
+	if len(snap) != 1 {
+		t.Fatal("snapshot must not alias the live archive")
+	}
+	if !reflect.DeepEqual(snap, []Candidate{feasible(2, 64, chip.Ring, 1, 5, 10, 1e10)}) {
+		t.Fatalf("snapshot mutated: %+v", snap)
+	}
+}

@@ -122,11 +122,15 @@ func (s *jobStore) submit(req *DSERequest) (JobStatus, error) {
 	if err != nil {
 		return JobStatus{}, err
 	}
+	total, err := explore.PlannedEvaluations(space, opts)
+	if err != nil {
+		return JobStatus{}, err
+	}
 	j := &job{
 		status: JobStatus{
 			ID:              newJobID(),
 			State:           JobQueued,
-			CandidatesTotal: space.Size(),
+			CandidatesTotal: total,
 			SubmittedAt:     time.Now(),
 		},
 		cancel: func() {},
@@ -165,6 +169,10 @@ func (s *jobStore) submit(req *DSERequest) (JobStatus, error) {
 // an older wire format, say — fails the job rather than dropping it.
 func (s *jobStore) resubmit(rj recoveredJob) {
 	p, space, cons, obj, opts, err := rj.Req.explore()
+	var total int
+	if err == nil {
+		total, err = explore.PlannedEvaluations(space, opts)
+	}
 	j := &job{
 		status: JobStatus{
 			ID:          rj.ID,
@@ -174,7 +182,7 @@ func (s *jobStore) resubmit(rj recoveredJob) {
 		cancel: func() {},
 	}
 	if err == nil {
-		j.status.CandidatesTotal = space.Size()
+		j.status.CandidatesTotal = total
 		j.params, j.space, j.cons, j.obj, j.opts = p, space, cons, obj, *opts
 	}
 
@@ -336,6 +344,18 @@ func (s *jobStore) run(j *job) {
 		j.mu.Lock()
 		j.status.CandidatesDone = done
 		j.status.CandidatesTotal = total
+		j.mu.Unlock()
+	}
+	// Stream front improvements into the job status so GET /v1/jobs/{id}
+	// shows the current Pareto front while a pareto search is running
+	// (and the partial front after a cancel).
+	j.opts.OnFrontUpdate = func(front []explore.Candidate, evaluated int) {
+		wire := make([]DSECandidate, len(front))
+		for i, c := range front {
+			wire[i] = newDSECandidate(c)
+		}
+		j.mu.Lock()
+		j.status.Front = wire
 		j.mu.Unlock()
 	}
 	j.mu.Unlock()

@@ -89,6 +89,17 @@ type DSERequest struct {
 	// Objective: "throughput" (default), "perf/watt", or "ed2ap".
 	Objective string `json:"objective,omitempty"`
 
+	// Search selects the strategy: "exhaustive" (default) sweeps the
+	// full cross-product, "pareto" runs the adaptive multi-objective
+	// search under an evaluation budget.
+	Search string `json:"search,omitempty"`
+	// Budget bounds a pareto search's candidate evaluations; 0 selects
+	// the engine default (a tenth of the space, floored at 24).
+	Budget int `json:"budget,omitempty"`
+	// Seed seeds the pareto search; equal seeds replay identical
+	// searches. 0 selects the deterministic default seed.
+	Seed int64 `json:"seed,omitempty"`
+
 	// Engine options (explore.Options).
 	Workers            int  `json:"workers,omitempty"`
 	CandidateTimeoutMS int  `json:"candidate_timeout_ms,omitempty"`
@@ -140,10 +151,17 @@ func (r *DSERequest) explore() (explore.Params, explore.Space, explore.Constrain
 		return p, space, explore.Constraints{}, 0, nil, err
 	}
 	cons := explore.Constraints{MaxAreaMM2: r.MaxAreaMM2, MaxTDP: r.MaxTDPW}
+	search, err := explore.ParseSearchKind(r.Search)
+	if err != nil {
+		return p, space, cons, obj, nil, err
+	}
 	opts := &explore.Options{
 		Workers:          r.Workers,
 		CandidateTimeout: time.Duration(r.CandidateTimeoutMS) * time.Millisecond,
 		FailFast:         r.FailFast,
+		Search:           search,
+		Budget:           r.Budget,
+		Seed:             r.Seed,
 	}
 	return p, space, cons, obj, opts, nil
 }
@@ -303,13 +321,23 @@ func newSubsysCacheStatsJSON(cs component.CacheStats) SubsysCacheStatsJSON {
 // DSEReport is the machine-readable form of a completed (or partial)
 // sweep: the body of a finished job's result and of mcpat-dse -json.
 type DSEReport struct {
-	Objective  string           `json:"objective"`
-	Evaluated  int              `json:"evaluated"`
-	Feasible   int              `json:"feasible"`
-	Best       *DSECandidate    `json:"best,omitempty"`
-	Candidates []DSECandidate   `json:"candidates"`
-	Failures   []DSEFailureJSON `json:"failures,omitempty"`
-	Cache      CacheStatsJSON   `json:"cache"`
+	Objective string `json:"objective"`
+	// Search names the strategy that produced the result ("exhaustive"
+	// or "pareto"); SpaceSize is the full cross-product size, so
+	// Evaluated/SpaceSize is the fraction of the space actually paid
+	// for.
+	Search     string         `json:"search"`
+	SpaceSize  int            `json:"space_size"`
+	Evaluated  int            `json:"evaluated"`
+	Feasible   int            `json:"feasible"`
+	Best       *DSECandidate  `json:"best,omitempty"`
+	Candidates []DSECandidate `json:"candidates"`
+	// Front is the Pareto-optimal subset of the evaluated feasible
+	// candidates over {power, area, delay, ED², EDA}, in deterministic
+	// axis order (filled by both search strategies).
+	Front    []DSECandidate   `json:"front,omitempty"`
+	Failures []DSEFailureJSON `json:"failures,omitempty"`
+	Cache    CacheStatsJSON   `json:"cache"`
 	// Subsys reports subsystem-level reuse during the sweep: whole
 	// cores, caches, fabrics, memory controllers, and clock networks
 	// served from the component cache instead of being re-synthesized.
@@ -326,6 +354,8 @@ type DSEReport struct {
 func NewDSEReport(res *explore.Result, obj explore.Objective) *DSEReport {
 	rep := &DSEReport{
 		Objective:  obj.String(),
+		Search:     res.Search.String(),
+		SpaceSize:  res.SpaceSize,
 		Evaluated:  res.Evaluated,
 		Feasible:   res.Feasible,
 		Candidates: make([]DSECandidate, 0, len(res.Candidates)),
@@ -336,6 +366,9 @@ func NewDSEReport(res *explore.Result, obj explore.Objective) *DSEReport {
 	}
 	for _, c := range res.Candidates {
 		rep.Candidates = append(rep.Candidates, newDSECandidate(c))
+	}
+	for _, c := range res.Front {
+		rep.Front = append(rep.Front, newDSECandidate(c))
 	}
 	if res.Best != nil {
 		best := newDSECandidate(*res.Best)
@@ -382,6 +415,11 @@ type JobStatus struct {
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+
+	// Front is the live Pareto-front snapshot of a running pareto
+	// search, refreshed on every improving generation; it remains on a
+	// terminal job (the completed front also appears in Result.Front).
+	Front []DSECandidate `json:"front,omitempty"`
 
 	// Result is present once the job is terminal and any candidates were
 	// evaluated; a canceled job carries the partial sweep. Per-candidate

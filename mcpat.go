@@ -343,6 +343,9 @@ type (
 	// DSEFailure records a candidate whose evaluation faulted (panic,
 	// timeout) without aborting the sweep.
 	DSEFailure = explore.Failure
+	// DSESearchKind selects the search strategy (exhaustive sweep or
+	// budgeted adaptive Pareto search) via DSEOptions.Search.
+	DSESearchKind = explore.SearchKind
 )
 
 // DSE objectives.
@@ -354,6 +357,23 @@ const (
 	// MinED2AP minimizes energy x delay^2 x area.
 	MinED2AP = explore.MinED2AP
 )
+
+// DSE search strategies.
+const (
+	// SearchExhaustive evaluates every point of the space (the default).
+	SearchExhaustive = explore.SearchExhaustive
+	// SearchPareto runs the budgeted adaptive multi-objective search:
+	// same single-objective winners as the exhaustive sweep on the
+	// validation spaces with roughly a tenth of the evaluations, plus a
+	// Pareto front over {power, area, delay, ED², EDA}.
+	SearchPareto = explore.SearchPareto
+)
+
+// ParseDSESearchKind parses a -search flag value ("", "exhaustive",
+// "pareto") into a DSESearchKind.
+func ParseDSESearchKind(s string) (DSESearchKind, error) {
+	return explore.ParseSearchKind(s)
+}
 
 // ExploreDesignSpace exhaustively evaluates the space under the budget
 // and returns candidates ranked by the objective.
