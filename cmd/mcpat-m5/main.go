@@ -24,6 +24,7 @@ func main() {
 		statsFile  = flag.String("stats", "", "gem5/M5 stats.txt dump")
 		printLevel = flag.Int("print_level", 1, "report depth (-1 = unlimited)")
 		asJSON     = flag.Bool("json", false, "emit the report as JSON")
+		interval   = flag.Int("interval", -1, "statistics dump to use (0-based; -1 = last)")
 	)
 	cacheDir, cacheSize := cliutil.CacheFlags(flag.CommandLine)
 	flag.Parse()
@@ -44,11 +45,15 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
-	dump, err := mcpat.ParseM5Stats(f)
+	dumps, err := mcpat.ParseM5StatsAll(f)
 	if err != nil {
 		fatal(err)
 	}
-	stats, err := mcpat.M5ToStats(dump, cfg.ClockHz, cfg.NumCores)
+	idx := *interval
+	if idx < 0 {
+		idx = len(dumps) - 1
+	}
+	stats, err := mcpat.M5ToStatsAt(dumps, idx, cfg.ClockHz, cfg.NumCores)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,96 @@
+// Command mcpat-trace turns a gem5 run into a time-series power trace:
+// it maps the run's config.json onto a native chip description
+// (template-free, no XML), synthesizes the chip once, scores every
+// statistics dump in stats.txt as one interval, and writes the trace as
+// CSV (default), NDJSON (-ndjson, the /v1/trace wire format), or a
+// single JSON document (-json).
+//
+// Usage:
+//
+//	mcpat-trace -config config.json -stats stats.txt [-json|-ndjson] [-notes]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"mcpat"
+	"mcpat/internal/cliutil"
+)
+
+func main() {
+	var (
+		configFile = flag.String("config", "", "gem5 config.json of the run")
+		statsFile  = flag.String("stats", "", "gem5 stats.txt (multi-dump)")
+		asJSON     = flag.Bool("json", false, "emit the whole trace as one JSON document")
+		asNDJSON   = flag.Bool("ndjson", false, "emit NDJSON records (the /v1/trace stream format)")
+		notes      = flag.Bool("notes", false, "print the config-mapping provenance to stderr")
+	)
+	cacheDir, cacheSize := cliutil.CacheFlags(flag.CommandLine)
+	flag.Parse()
+	if closeCache := cliutil.EnablePersistentCache(*cacheDir, *cacheSize); closeCache != nil {
+		defer closeCache()
+	}
+	if *configFile == "" || *statsFile == "" {
+		flag.Usage()
+		cliutil.Usagef("mcpat-trace", "-config and -stats are required")
+	}
+	if *asJSON && *asNDJSON {
+		cliutil.Usagef("mcpat-trace", "-json and -ndjson are mutually exclusive")
+	}
+
+	cfgF, err := os.Open(*configFile)
+	if err != nil {
+		fatal(err)
+	}
+	defer cfgF.Close()
+	statsF, err := os.Open(*statsFile)
+	if err != nil {
+		fatal(err)
+	}
+	defer statsF.Close()
+
+	eng, intervals, res, err := mcpat.TraceFromGem5(cfgF, statsF)
+	if err != nil {
+		fatal(err)
+	}
+	if *notes {
+		fmt.Fprintf(os.Stderr, "mcpat-trace: mapped %s (%s defaults) from %s:\n",
+			res.CPUType, res.Preset, *configFile)
+		for _, n := range res.Notes {
+			fmt.Fprintf(os.Stderr, "  %-24s = %-12s %s\n", n.Field, n.Value, n.Source)
+		}
+	}
+
+	tr, err := eng.Run(context.Background(), intervals, nil)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *asNDJSON:
+		err = tr.WriteNDJSON(os.Stdout)
+	case *asJSON:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(tr)
+	default:
+		err = tr.WriteCSV(os.Stdout)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"mcpat-trace: %d intervals over %.6f s: %.3f J, avg %.3f W, peak %.3f W (interval %d)\n",
+		tr.Summary.Intervals, tr.Summary.SimSeconds, tr.Summary.EnergyJ,
+		tr.Summary.AvgW, tr.Summary.PeakW, tr.Summary.PeakIndex)
+}
+
+// fatal maps guard error kinds to the shared CLI exit codes (2=config,
+// 3=infeasible/model-domain, 1=internal).
+func fatal(err error) {
+	cliutil.Fatal("mcpat-trace", err)
+}

@@ -170,19 +170,27 @@ func New(cfg Config) (*Cache, error) {
 // Report builds the cache's report subtree for the given access rates
 // (reads and writes per second at peak and runtime).
 func (c *Cache) Report(peakR, peakW, runR, runW float64) *power.Item {
-	item := power.NewItemN(c.cfg.Name, 4)
-	item.Add(power.FromPAT("data", c.Data.PAT,
+	return c.ReportIn(nil, peakR, peakW, runR, runW)
+}
+
+// ReportIn is Report with the result tree bump-allocated from ar (nil
+// falls back to the heap; both paths run the identical arithmetic, so
+// arena and heap reports are bit-identical by construction). Items are
+// valid until ar is reset; see power.Arena for the lifetime contract.
+func (c *Cache) ReportIn(ar *power.Arena, peakR, peakW, runR, runW float64) *power.Item {
+	item := ar.NewItemN(c.cfg.Name, 4)
+	item.Add(ar.FromPAT("data", c.Data.PAT,
 		power.Activity{Reads: peakR, Writes: peakW},
 		power.Activity{Reads: runR, Writes: runW}))
 	missFrac := 0.05
-	item.Add(power.FromPAT("mshr", c.MSHR.PAT,
+	item.Add(ar.FromPAT("mshr", c.MSHR.PAT,
 		power.Activity{Searches: peakR + peakW, Reads: (peakR + peakW) * missFrac, Writes: (peakR + peakW) * missFrac},
 		power.Activity{Searches: runR + runW, Reads: (runR + runW) * missFrac, Writes: (runR + runW) * missFrac}))
-	item.Add(power.FromPAT("wbbuffer", c.WBBuffer.PAT,
+	item.Add(ar.FromPAT("wbbuffer", c.WBBuffer.PAT,
 		power.Activity{Reads: peakW * 0.5, Writes: peakW * 0.5},
 		power.Activity{Reads: runW * 0.5, Writes: runW * 0.5}))
 	if c.Directory != nil {
-		item.Add(power.FromPAT("directory", c.Directory.PAT,
+		item.Add(ar.FromPAT("directory", c.Directory.PAT,
 			power.Activity{Reads: peakR + peakW, Writes: (peakR + peakW) * 0.2},
 			power.Activity{Reads: runR + runW, Writes: (runR + runW) * 0.2}))
 	}

@@ -1,0 +1,114 @@
+package chip
+
+import (
+	"testing"
+
+	"mcpat/internal/core"
+	"mcpat/internal/power"
+)
+
+// sameTree compares two report trees field by field with exact float
+// equality — the bit-identity contract between the heap Report and the
+// arena ReportArena paths.
+func sameTree(t *testing.T, path string, a, b *power.Item) {
+	t.Helper()
+	if a.Name != b.Name {
+		t.Fatalf("%s: name %q vs %q", path, a.Name, b.Name)
+	}
+	if a.Area != b.Area || a.PeakDynamic != b.PeakDynamic ||
+		a.RuntimeDynamic != b.RuntimeDynamic || a.SubLeak != b.SubLeak ||
+		a.GateLeak != b.GateLeak || a.LeakSaved != b.LeakSaved {
+		t.Fatalf("%s/%s: values differ:\n  heap  %+v\n  arena %+v", path, a.Name, *a, *b)
+	}
+	if len(a.Children) != len(b.Children) {
+		t.Fatalf("%s/%s: child count %d vs %d", path, a.Name, len(a.Children), len(b.Children))
+	}
+	for i := range a.Children {
+		sameTree(t, path+"/"+a.Name, a.Children[i], b.Children[i])
+	}
+}
+
+// runStats is a representative runtime statistics vector so the
+// identity check covers the runtime columns (and power gating) too.
+func runStats() *Stats {
+	return &Stats{
+		CoreRun: core.Activity{
+			ICacheAccess: 0.8, Decode: 1.2, IntOp: 0.9, FPOp: 0.1,
+			DCacheRead: 0.3, DCacheWrite: 0.12, CacheMiss: 0.02,
+			BTBAccess: 0.2, PredAccess: 0.2, ITLBAccess: 0.8,
+			DTLBAccess: 0.42, LSQAccess: 0.42, LSQSearch: 0.12,
+			Bypass: 1.3, PipelineDuty: 0.77,
+		},
+		L2Reads: 2.1e8, L2Writes: 0.9e8,
+		NoCFlits:   3.3e8,
+		MCAccesses: 1.2e8,
+	}
+}
+
+// TestReportArenaBitIdentical pins the acceptance contract of the
+// trace fast path: a report scored through an arena is bit-identical
+// to the plain heap Report, for TDP-only and runtime-stats passes,
+// across fabric kinds, and across arena reuse (Reset between passes).
+func TestReportArenaBitIdentical(t *testing.T) {
+	for _, kind := range []InterconnectKind{Mesh, Ring, Bus, Crossbar} {
+		p, err := New(manycoreCfg(8, kind))
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		var ar power.Arena
+		for pass := 0; pass < 3; pass++ {
+			for _, stats := range []*Stats{nil, runStats()} {
+				want := p.Report(stats)
+				ar.Reset()
+				got, err := p.ReportArena(stats, &ar)
+				if err != nil {
+					t.Fatalf("%v pass %d: %v", kind, pass, err)
+				}
+				sameTree(t, kind.String(), want, got)
+			}
+		}
+	}
+}
+
+// TestReportArenaNilArena pins the degraded mode: a nil arena behaves
+// exactly like ReportE.
+func TestReportArenaNilArena(t *testing.T) {
+	p, err := New(manycoreCfg(4, Bus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.ReportArena(runStats(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTree(t, "nil-arena", p.Report(runStats()), got)
+}
+
+// TestReportArenaSteadyStateAllocs pins the point of the arena: after
+// warm-up, a full per-interval Score pass over a synthesized chip
+// allocates (almost) nothing. The bound is deliberately loose — a few
+// stray allocations are tolerated, a regression to per-Item heap
+// allocation (hundreds per pass) is not.
+func TestReportArenaSteadyStateAllocs(t *testing.T) {
+	p, err := New(manycoreCfg(8, Mesh))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := runStats()
+	var ar power.Arena
+	if _, err := p.ReportArena(stats, &ar); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		ar.Reset()
+		if _, err := p.ReportArena(stats, &ar); err != nil {
+			t.Fatal(err)
+		}
+	})
+	heap := testing.AllocsPerRun(20, func() {
+		_ = p.Report(stats)
+	})
+	if allocs > heap/4 {
+		t.Fatalf("arena pass allocates %.0f/op, heap pass %.0f/op — want <= 25%%", allocs, heap)
+	}
+}

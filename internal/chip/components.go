@@ -37,9 +37,9 @@ type coreComponent struct {
 
 func (c *coreComponent) Score(a component.Assignment) *power.Item {
 	pair := a.Vec.(core.ActivityPair)
-	rep := c.core.Report(pair.Peak, pair.Run)
+	rep := c.core.ReportIn(a.Arena, pair.Peak, pair.Run)
 	rep.Name = c.name
-	group := power.NewItemN("Cores", 1)
+	group := a.Arena.NewItemN("Cores", 1)
 	group.Add(rep)
 	group.Rollup()
 	group.Scale(c.n)
@@ -54,7 +54,7 @@ type cacheComponent struct {
 }
 
 func (c *cacheComponent) Score(a component.Assignment) *power.Item {
-	item := c.cache.Report(a.Peak.Reads, a.Peak.Writes, a.Run.Reads, a.Run.Writes)
+	item := c.cache.ReportIn(a.Arena, a.Peak.Reads, a.Peak.Writes, a.Run.Reads, a.Run.Writes)
 	item.Name = c.name
 	return item
 }
@@ -67,7 +67,7 @@ type fpuComponent struct {
 }
 
 func (c *fpuComponent) Score(a component.Assignment) *power.Item {
-	fpu := power.FromPAT("SharedFPU", c.pat, a.Peak, a.Run)
+	fpu := a.Arena.FromPAT("SharedFPU", c.pat, a.Peak, a.Run)
 	fpu.Area = c.pat.Area * c.n
 	fpu.SubLeak = c.pat.Static.Sub * c.n
 	fpu.GateLeak = c.pat.Static.Gate * c.n
@@ -89,33 +89,33 @@ type fabricComponent struct {
 func (f *fabricComponent) Score(a component.Assignment) *power.Item {
 	switch f.kind {
 	case Mesh:
-		ic := power.NewItemN("NoC", 3)
-		routers := power.FromPAT("routers", f.router.PAT, a.Peak, a.Run)
+		ic := a.Arena.NewItemN("NoC", 3)
+		routers := a.Arena.FromPAT("routers", f.router.PAT, a.Peak, a.Run)
 		routers.Scale(f.routers)
-		links := power.FromPAT("links", f.link.PAT, a.Peak, a.Run)
+		links := a.Arena.FromPAT("links", f.link.PAT, a.Peak, a.Run)
 		links.Scale(f.links)
 		ic.Add(routers, links)
 		if f.clusterBus != nil {
-			buses := power.FromPAT("clusterbus", f.clusterBus.PAT, a.AuxPeak, a.AuxRun)
+			buses := a.Arena.FromPAT("clusterbus", f.clusterBus.PAT, a.AuxPeak, a.AuxRun)
 			buses.Scale(f.routers)
 			ic.Add(buses)
 		}
 		return ic
 	case Ring:
-		ic := power.NewItemN("Ring", 2)
-		routers := power.FromPAT("routers", f.router.PAT, a.Peak, a.Run)
+		ic := a.Arena.NewItemN("Ring", 2)
+		routers := a.Arena.FromPAT("routers", f.router.PAT, a.Peak, a.Run)
 		routers.Scale(f.routers)
-		links := power.FromPAT("links", f.link.PAT, a.Peak, a.Run)
+		links := a.Arena.FromPAT("links", f.link.PAT, a.Peak, a.Run)
 		links.Scale(f.links)
 		ic.Add(routers, links)
 		return ic
 	case Bus:
-		ic := power.NewItemN("Bus", 1)
-		ic.Add(power.FromPAT("bus", f.link.PAT, a.Peak, a.Run))
+		ic := a.Arena.NewItemN("Bus", 1)
+		ic.Add(a.Arena.FromPAT("bus", f.link.PAT, a.Peak, a.Run))
 		return ic
 	case Crossbar:
-		ic := power.NewItemN("Crossbar", 1)
-		ic.Add(power.FromPAT("crossbar", f.link.PAT, a.Peak, a.Run))
+		ic := a.Arena.NewItemN("Crossbar", 1)
+		ic.Add(a.Arena.FromPAT("crossbar", f.link.PAT, a.Peak, a.Run))
 		return ic
 	}
 	return nil
@@ -129,11 +129,11 @@ type mcComponent struct {
 }
 
 func (c *mcComponent) Score(a component.Assignment) *power.Item {
-	rep := power.NewItemN("MemoryController", 3)
+	rep := a.Arena.NewItemN("MemoryController", 3)
 	rep.Add(
-		power.FromPAT("frontend", c.ctl.FrontEnd, a.Peak, a.Run),
-		power.FromPAT("backend", c.ctl.Backend, a.Peak, a.Run),
-		power.FromPAT("phy", c.ctl.PHY, a.Peak, a.Run),
+		a.Arena.FromPAT("frontend", c.ctl.FrontEnd, a.Peak, a.Run),
+		a.Arena.FromPAT("backend", c.ctl.Backend, a.Peak, a.Run),
+		a.Arena.FromPAT("phy", c.ctl.PHY, a.Peak, a.Run),
 	)
 	return rep
 }
@@ -146,7 +146,7 @@ type ioComponent struct {
 }
 
 func (c *ioComponent) Score(a component.Assignment) *power.Item {
-	return power.FromPAT(c.name, c.pat, a.Peak, a.Run)
+	return a.Arena.FromPAT(c.name, c.pat, a.Peak, a.Run)
 }
 
 // clockComponent scores the clock distribution network. Run.Reads
@@ -159,13 +159,11 @@ type clockComponent struct {
 }
 
 func (c *clockComponent) Score(a component.Assignment) *power.Item {
-	clk := &power.Item{
-		Name:        "ClockNetwork",
-		Area:        c.net.Area,
-		PeakDynamic: c.net.PowerPeak,
-		SubLeak:     c.net.Static.Sub,
-		GateLeak:    c.net.Static.Gate,
-	}
+	clk := a.Arena.NewItem("ClockNetwork")
+	clk.Area = c.net.Area
+	clk.PeakDynamic = c.net.PowerPeak
+	clk.SubLeak = c.net.Static.Sub
+	clk.GateLeak = c.net.Static.Gate
 	if util := a.Run.Reads; util > 0 {
 		// Runtime clock power: same network, gated down with activity.
 		clk.RuntimeDynamic = c.net.PowerMax * (0.35 + 0.65*util) * c.gating
@@ -180,7 +178,8 @@ type staticComponent struct {
 	item power.Item
 }
 
-func (c *staticComponent) Score(component.Assignment) *power.Item {
-	it := c.item
-	return &it
+func (c *staticComponent) Score(a component.Assignment) *power.Item {
+	it := a.Arena.NewItem(c.item.Name)
+	*it = c.item
+	return it
 }

@@ -1,0 +1,34 @@
+package cliutil
+
+import (
+	"testing"
+
+	"mcpat/internal/gem5"
+	"mcpat/internal/guard"
+)
+
+// TestGem5ErrorsExitParity pins the cross-face error contract of the
+// native ingestion pipeline: every malformed-config.json error from the
+// gem5 mapper is guard.ErrConfig, so mcpat-trace exits 2 and mcpatd
+// answers 400 with the same component path — the parity the shared
+// cliutil/serve classification provides for free.
+func TestGem5ErrorsExitParity(t *testing.T) {
+	docs := []string{
+		`{`,
+		`{"system":{}}`,
+		`{"system":{"cpu":[]}}`,
+		`{"system":{"cpu":{"type":"DerivO3CPU","clk_domain":{"clock":[0]}}}}`,
+	}
+	for _, doc := range docs {
+		_, err := gem5.MapBytes([]byte(doc))
+		if err == nil {
+			t.Fatalf("doc %q: no error", doc)
+		}
+		if got := ExitCode(err); got != ExitConfig {
+			t.Errorf("doc %q: exit %d, want %d (config)", doc, got, ExitConfig)
+		}
+		if guard.PathOf(err) == "" {
+			t.Errorf("doc %q: error carries no component path: %v", doc, err)
+		}
+	}
+}

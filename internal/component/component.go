@@ -88,6 +88,14 @@ type Assignment struct {
 	// activity vector. Components that use Vec document the concrete
 	// type they expect.
 	Vec any
+
+	// Arena, when non-nil, supplies bump-allocated report Items for the
+	// Score pass (the trace engine's per-interval hot path). Items drawn
+	// from it are valid only until the arena is reset, so callers that
+	// set it own the lifetime of the returned tree. A nil Arena keeps
+	// every Score result on the heap; both paths run identical
+	// arithmetic, so the reports are bit-identical.
+	Arena *power.Arena
 }
 
 // Component is a synthesized chip subsystem ready for scoring. Score

@@ -110,8 +110,8 @@ func (c *Core) rate(perCycle float64) float64 { return perCycle * c.Cfg.ClockHz 
 
 // leafRW builds a report leaf for an array accessed with the given
 // read/write/search rates under peak and runtime activity.
-func (c *Core) leaf(name string, p power.PAT, peak, run power.Activity) *power.Item {
-	return power.FromPAT(name, p, peak, run)
+func (c *Core) leaf(ar *power.Arena, name string, p power.PAT, peak, run power.Activity) *power.Item {
+	return ar.FromPAT(name, p, peak, run)
 }
 
 func rw(reads, writes, searches float64) power.Activity {
@@ -122,132 +122,140 @@ func rw(reads, writes, searches float64) power.Activity {
 // the TDP activity; run may be the zero Activity when no runtime
 // statistics are available.
 func (c *Core) Report(peak, run Activity) *power.Item {
+	return c.ReportIn(nil, peak, run)
+}
+
+// ReportIn is Report with the result tree bump-allocated from ar (nil
+// falls back to the heap — both paths run the identical arithmetic, so
+// arena and heap reports are bit-identical by construction). Items are
+// valid until ar is reset; see power.Arena for the lifetime contract.
+func (c *Core) ReportIn(ar *power.Arena, peak, run Activity) *power.Item {
 	cfg := &c.Cfg
 	hz := cfg.ClockHz
 
-	item := power.NewItemN(cfg.Name, 6)
+	item := ar.NewItemN(cfg.Name, 6)
 
 	// ------------- IFU -------------------------------------------------
-	ifu := power.NewItemN("IFU", 6)
-	ifu.Add(c.leaf("icache", c.icache.PAT,
+	ifu := ar.NewItemN("IFU", 6)
+	ifu.Add(c.leaf(ar, "icache", c.icache.PAT,
 		rw(peak.ICacheAccess*hz, peak.CacheMiss*hz*0.3, 0),
 		rw(run.ICacheAccess*hz, run.CacheMiss*hz*0.3, 0)))
-	ifu.Add(c.leaf("icache.mshr", c.icacheMSH.PAT,
+	ifu.Add(c.leaf(ar, "icache.mshr", c.icacheMSH.PAT,
 		rw(peak.CacheMiss*hz*0.3, peak.CacheMiss*hz*0.3, peak.CacheMiss*hz*0.3),
 		rw(run.CacheMiss*hz*0.3, run.CacheMiss*hz*0.3, run.CacheMiss*hz*0.3)))
 	if c.btb != nil {
-		ifu.Add(c.leaf("btb", c.btb.PAT,
+		ifu.Add(c.leaf(ar, "btb", c.btb.PAT,
 			rw(peak.BTBAccess*hz, peak.BTBAccess*hz*0.1, 0),
 			rw(run.BTBAccess*hz, run.BTBAccess*hz*0.1, 0)))
 	}
-	pred := power.NewItemN("predictor", 4)
+	pred := ar.NewItemN("predictor", 4)
 	if c.localPred != nil {
-		pred.Add(c.leaf("local", c.localPred.PAT,
+		pred.Add(c.leaf(ar, "local", c.localPred.PAT,
 			rw(peak.PredAccess*hz, peak.PredAccess*hz, 0),
 			rw(run.PredAccess*hz, run.PredAccess*hz, 0)))
 	}
 	if c.globPred != nil {
-		pred.Add(c.leaf("global", c.globPred.PAT,
+		pred.Add(c.leaf(ar, "global", c.globPred.PAT,
 			rw(peak.PredAccess*hz, peak.PredAccess*hz, 0),
 			rw(run.PredAccess*hz, run.PredAccess*hz, 0)))
 	}
 	if c.chooser != nil {
-		pred.Add(c.leaf("chooser", c.chooser.PAT,
+		pred.Add(c.leaf(ar, "chooser", c.chooser.PAT,
 			rw(peak.PredAccess*hz, peak.PredAccess*hz, 0),
 			rw(run.PredAccess*hz, run.PredAccess*hz, 0)))
 	}
 	if c.ras != nil {
-		pred.Add(c.leaf("ras", c.ras.PAT,
+		pred.Add(c.leaf(ar, "ras", c.ras.PAT,
 			rw(peak.PredAccess*hz*0.3, peak.PredAccess*hz*0.3, 0),
 			rw(run.PredAccess*hz*0.3, run.PredAccess*hz*0.3, 0)))
 	}
 	if len(pred.Children) > 0 {
 		ifu.Add(pred)
 	}
-	ifu.Add(c.leaf("fetchbuffer", c.fetchBuf.PAT,
+	ifu.Add(c.leaf(ar, "fetchbuffer", c.fetchBuf.PAT,
 		rw(peak.Decode*hz, peak.ICacheAccess*hz, 0),
 		rw(run.Decode*hz, run.ICacheAccess*hz, 0)))
-	ifu.Add(c.leaf("decoder", c.decoder,
+	ifu.Add(c.leaf(ar, "decoder", c.decoder,
 		rw(peak.Decode*hz, 0, 0), rw(run.Decode*hz, 0, 0)))
 	item.Add(ifu)
 
 	// ------------- RNU -------------------------------------------------
 	if cfg.OoO {
-		rnu := power.NewItemN("RenameUnit", 4)
+		rnu := ar.NewItemN("RenameUnit", 4)
 		if cfg.RenameCAM {
-			rnu.Add(c.leaf("rat.int", c.intRAT.PAT,
+			rnu.Add(c.leaf(ar, "rat.int", c.intRAT.PAT,
 				rw(0, peak.Rename*hz, 2*peak.Rename*hz),
 				rw(0, run.Rename*hz, 2*run.Rename*hz)))
-			rnu.Add(c.leaf("rat.fp", c.fpRAT.PAT,
+			rnu.Add(c.leaf(ar, "rat.fp", c.fpRAT.PAT,
 				rw(0, 0.25*peak.Rename*hz, 0.5*peak.Rename*hz),
 				rw(0, 0.25*run.Rename*hz, 0.5*run.Rename*hz)))
 		} else {
-			rnu.Add(c.leaf("rat.int", c.intRAT.PAT,
+			rnu.Add(c.leaf(ar, "rat.int", c.intRAT.PAT,
 				rw(2*peak.Rename*hz, peak.Rename*hz, 0),
 				rw(2*run.Rename*hz, run.Rename*hz, 0)))
-			rnu.Add(c.leaf("rat.fp", c.fpRAT.PAT,
+			rnu.Add(c.leaf(ar, "rat.fp", c.fpRAT.PAT,
 				rw(0.5*peak.Rename*hz, 0.25*peak.Rename*hz, 0),
 				rw(0.5*run.Rename*hz, 0.25*run.Rename*hz, 0)))
 		}
-		rnu.Add(c.leaf("freelist", c.freeList.PAT,
+		rnu.Add(c.leaf(ar, "freelist", c.freeList.PAT,
 			rw(peak.Rename*hz, peak.Rename*hz, 0),
 			rw(run.Rename*hz, run.Rename*hz, 0)))
-		rnu.Add(c.leaf("depcheck", c.depCheck,
+		rnu.Add(c.leaf(ar, "depcheck", c.depCheck,
 			rw(peak.Rename*hz/float64(maxInt(cfg.DecodeWidth, 1)), 0, 0),
 			rw(run.Rename*hz/float64(maxInt(cfg.DecodeWidth, 1)), 0, 0)))
 		item.Add(rnu)
 
-		sched := power.NewItemN("Scheduler", 4)
-		sched.Add(c.leaf("iq.int", c.intIQ.PAT,
+		sched := ar.NewItemN("Scheduler", 4)
+		sched.Add(c.leaf(ar, "iq.int", c.intIQ.PAT,
 			rw(peak.IQIssue*hz, peak.IQWrite*hz, peak.IQWakeup*hz),
 			rw(run.IQIssue*hz, run.IQWrite*hz, run.IQWakeup*hz)))
-		sched.Add(c.leaf("iq.fp", c.fpIQ.PAT,
+		sched.Add(c.leaf(ar, "iq.fp", c.fpIQ.PAT,
 			rw(peak.FPOp*hz, peak.FPOp*hz, peak.FPOp*hz),
 			rw(run.FPOp*hz, run.FPOp*hz, run.FPOp*hz)))
-		sched.Add(c.leaf("rob", c.rob.PAT,
+		sched.Add(c.leaf(ar, "rob", c.rob.PAT,
 			rw(peak.ROBAcc*hz*0.5, peak.ROBAcc*hz*0.5, 0),
 			rw(run.ROBAcc*hz*0.5, run.ROBAcc*hz*0.5, 0)))
-		sched.Add(c.leaf("select", c.sel,
+		sched.Add(c.leaf(ar, "select", c.sel,
 			rw(peak.IQIssue*hz, 0, 0), rw(run.IQIssue*hz, 0, 0)))
 		item.Add(sched)
 	} else {
-		sched := power.NewItemN("InstQueue", 1)
-		sched.Add(c.leaf("instq", c.intIQ.PAT,
+		sched := ar.NewItemN("InstQueue", 1)
+		sched.Add(c.leaf(ar, "instq", c.intIQ.PAT,
 			rw(peak.Decode*hz, peak.Decode*hz, 0),
 			rw(run.Decode*hz, run.Decode*hz, 0)))
 		item.Add(sched)
 	}
 
 	// ------------- EXU -------------------------------------------------
-	exu := power.NewItemN("EXU", 8)
-	exu.Add(c.leaf("rf.int", c.intRF.PAT,
+	exu := ar.NewItemN("EXU", 8)
+	exu.Add(c.leaf(ar, "rf.int", c.intRF.PAT,
 		rw(peak.RFRead*hz, peak.RFWrite*hz, 0),
 		rw(run.RFRead*hz, run.RFWrite*hz, 0)))
 	if c.fpRF != nil {
-		exu.Add(c.leaf("rf.fp", c.fpRF.PAT,
+		exu.Add(c.leaf(ar, "rf.fp", c.fpRF.PAT,
 			rw(peak.FPRFRead*hz, peak.FPRFWrite*hz, 0),
 			rw(run.FPRFRead*hz, run.FPRFWrite*hz, 0)))
 	}
-	alus := c.leaf("alus", c.alu, rw(peak.IntOp*hz, 0, 0), rw(run.IntOp*hz, 0, 0))
+	alus := c.leaf(ar, "alus", c.alu, rw(peak.IntOp*hz, 0, 0), rw(run.IntOp*hz, 0, 0))
 	alus.Area = c.alu.Area * float64(cfg.IntALUs)
 	alus.SubLeak = c.alu.Static.Sub * float64(cfg.IntALUs)
 	alus.GateLeak = c.alu.Static.Gate * float64(cfg.IntALUs)
 	exu.Add(alus)
 	if cfg.FPUs > 0 {
-		fpus := c.leaf("fpus", c.fpu, rw(peak.FPOp*hz, 0, 0), rw(run.FPOp*hz, 0, 0))
+		fpus := c.leaf(ar, "fpus", c.fpu, rw(peak.FPOp*hz, 0, 0), rw(run.FPOp*hz, 0, 0))
 		fpus.Area = c.fpu.Area * float64(cfg.FPUs)
 		fpus.SubLeak = c.fpu.Static.Sub * float64(cfg.FPUs)
 		fpus.GateLeak = c.fpu.Static.Gate * float64(cfg.FPUs)
 		exu.Add(fpus)
 	}
 	if cfg.MulDivs > 0 {
-		muls := c.leaf("muldiv", c.mul, rw(peak.MulOp*hz, 0, 0), rw(run.MulOp*hz, 0, 0))
+		muls := c.leaf(ar, "muldiv", c.mul, rw(peak.MulOp*hz, 0, 0), rw(run.MulOp*hz, 0, 0))
 		muls.Area = c.mul.Area * float64(cfg.MulDivs)
 		muls.SubLeak = c.mul.Static.Sub * float64(cfg.MulDivs)
 		muls.GateLeak = c.mul.Static.Gate * float64(cfg.MulDivs)
 		exu.Add(muls)
 	}
-	bypass := power.FromPAT("bypass", power.PAT{
+	bypass := ar.FromPAT("bypass", power.PAT{
 		Energy: power.Energy{Read: c.bypassE},
 		Static: c.bypassPAT.Static,
 		Area:   c.bypassPAT.Area,
@@ -258,43 +266,41 @@ func (c *Core) Report(peak, run Activity) *power.Item {
 	if run.PipelineDuty > 0 {
 		plRun = c.pipeline.ePerCyc*run.PipelineDuty + c.pipeline.ePerIdle*(1-run.PipelineDuty)
 	}
-	exu.Add(&power.Item{
-		Name:           "pipeline",
-		Area:           c.pipeline.area,
-		PeakDynamic:    plPeak * hz,
-		RuntimeDynamic: plRun * hz,
-		SubLeak:        c.pipeline.leak.Sub,
-		GateLeak:       c.pipeline.leak.Gate,
-	})
-	exu.Add(&power.Item{
-		Name:           "glue",
-		Area:           c.glue.area,
-		PeakDynamic:    c.glue.ePerCyc * peak.PipelineDuty * hz,
-		RuntimeDynamic: c.glue.ePerCyc * run.PipelineDuty * hz,
-		SubLeak:        c.glue.leak.Sub,
-		GateLeak:       c.glue.leak.Gate,
-	})
+	pl := ar.NewItem("pipeline")
+	pl.Area = c.pipeline.area
+	pl.PeakDynamic = plPeak * hz
+	pl.RuntimeDynamic = plRun * hz
+	pl.SubLeak = c.pipeline.leak.Sub
+	pl.GateLeak = c.pipeline.leak.Gate
+	exu.Add(pl)
+	glue := ar.NewItem("glue")
+	glue.Area = c.glue.area
+	glue.PeakDynamic = c.glue.ePerCyc * peak.PipelineDuty * hz
+	glue.RuntimeDynamic = c.glue.ePerCyc * run.PipelineDuty * hz
+	glue.SubLeak = c.glue.leak.Sub
+	glue.GateLeak = c.glue.leak.Gate
+	exu.Add(glue)
 	item.Add(exu)
 
 	// ------------- LSU -------------------------------------------------
-	lsu := power.NewItemN("LSU", 3)
-	lsu.Add(c.leaf("dcache", c.dcache.PAT,
+	lsu := ar.NewItemN("LSU", 3)
+	lsu.Add(c.leaf(ar, "dcache", c.dcache.PAT,
 		rw(peak.DCacheRead*hz, peak.DCacheWrite*hz, 0),
 		rw(run.DCacheRead*hz, run.DCacheWrite*hz, 0)))
-	lsu.Add(c.leaf("dcache.mshr", c.dcacheMSH.PAT,
+	lsu.Add(c.leaf(ar, "dcache.mshr", c.dcacheMSH.PAT,
 		rw(peak.CacheMiss*hz, peak.CacheMiss*hz, peak.CacheMiss*hz),
 		rw(run.CacheMiss*hz, run.CacheMiss*hz, run.CacheMiss*hz)))
-	lsu.Add(c.leaf("lsq", c.lsq.PAT,
+	lsu.Add(c.leaf(ar, "lsq", c.lsq.PAT,
 		rw(peak.LSQAccess*hz, peak.LSQAccess*hz, peak.LSQSearch*hz),
 		rw(run.LSQAccess*hz, run.LSQAccess*hz, run.LSQSearch*hz)))
 	item.Add(lsu)
 
 	// ------------- MMU -------------------------------------------------
-	mmu := power.NewItemN("MMU", 2)
-	mmu.Add(c.leaf("itlb", c.itlb.PAT,
+	mmu := ar.NewItemN("MMU", 2)
+	mmu.Add(c.leaf(ar, "itlb", c.itlb.PAT,
 		rw(0, peak.CacheMiss*hz*0.01, peak.ITLBAccess*hz),
 		rw(0, run.CacheMiss*hz*0.01, run.ITLBAccess*hz)))
-	mmu.Add(c.leaf("dtlb", c.dtlb.PAT,
+	mmu.Add(c.leaf(ar, "dtlb", c.dtlb.PAT,
 		rw(0, peak.CacheMiss*hz*0.01, peak.DTLBAccess*hz),
 		rw(0, run.CacheMiss*hz*0.01, run.DTLBAccess*hz)))
 	item.Add(mmu)

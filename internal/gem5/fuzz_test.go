@@ -1,0 +1,49 @@
+package gem5
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"mcpat/internal/guard"
+)
+
+// FuzzMapBytes pins the reader-hardening contract: for arbitrary input
+// the mapper either returns an error (always a classified guard error)
+// or a config whose float fields are finite — it never panics and never
+// emits NaN/Inf into the model.
+func FuzzMapBytes(f *testing.F) {
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"system":{}}`))
+	f.Add([]byte(`{"system":{"cpu":[{"type":"DerivO3CPU"}]}}`))
+	f.Add([]byte(`{"system":{"cpu":{"type":"DerivO3CPU","clk_domain":{"clock":[0]}}}}`))
+	f.Add([]byte(`{"system":{"cpu":{"clk_domain":{"clock":"NaN"}}}}`))
+	f.Add([]byte(`{"system":{"cpu":{"clk_domain":"system.cpu"},"mem_ctrls":[{}]}}`))
+	f.Add([]byte(`{"system":{"cpu":{"icache":{"size":1e300},"l2":{"size":-4}}}}`))
+	if seed, err := os.ReadFile("testdata/config.json"); err == nil {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := MapBytes(data)
+		if err != nil {
+			if guard.PathOf(err) == "" {
+				t.Fatalf("unclassified error: %v", err)
+			}
+			return
+		}
+		cfg := res.Config
+		for name, v := range map[string]float64{
+			"ClockHz":     cfg.ClockHz,
+			"NM":          cfg.NM,
+			"Temperature": cfg.Temperature,
+			"Vdd":         cfg.Vdd,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s = %v is not finite", name, v)
+			}
+		}
+		if cfg.ClockHz <= 0 || cfg.NumCores <= 0 {
+			t.Fatalf("degenerate accepted config: clock %v, cores %d", cfg.ClockHz, cfg.NumCores)
+		}
+	})
+}

@@ -1,0 +1,431 @@
+// Package gem5 maps a native gem5 configuration dump (config.json) onto
+// the chip model, template-free: the fields gem5 records — CPU count and
+// clock domain, O3 pipeline widths and buffer depths, branch predictor
+// tables, TLBs, private cache geometry, the shared L2, memory
+// controllers — are read straight from the JSON object tree, and every
+// remaining knob falls back to a processor-class preset matched to the
+// CPU type. The mapper keeps per-field provenance notes so a user can
+// see exactly which parameters came from the simulation and which were
+// defaulted.
+//
+// The reader is fuzz-hardened: malformed JSON, missing subtrees, and
+// non-finite or absurd numeric values surface as guard.ErrConfig with a
+// dotted path into the document — never as a panic.
+package gem5
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"mcpat/internal/cache"
+	"mcpat/internal/chip"
+	"mcpat/internal/core"
+	"mcpat/internal/guard"
+	"mcpat/internal/presets"
+)
+
+// Note records where one mapped configuration field came from: the
+// config.json path that supplied it, or the preset that defaulted it.
+type Note struct {
+	Field  string `json:"field"`  // chip.Config field, dotted (e.g. "Core.ROBEntries")
+	Value  string `json:"value"`  // the value in effect
+	Source string `json:"source"` // "config.json <path>" or "default (preset <name>)"
+}
+
+// Result is a mapped gem5 configuration: the native chip description
+// plus the provenance trail.
+type Result struct {
+	Config chip.Config
+	Notes  []Note
+
+	// CPUType is the gem5 CPU class the mapping keyed off ("DerivO3CPU",
+	// "TimingSimpleCPU", ...); empty when the dump does not record one.
+	CPUType string
+	// Preset is the processor-class preset that supplied the defaults.
+	Preset string
+}
+
+// Map reads a gem5 config.json from r and maps it to a chip.Config.
+func Map(r io.Reader) (*Result, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, guard.Wrap(guard.ErrConfig, "gem5.config", err)
+	}
+	return MapBytes(b)
+}
+
+// MapBytes is Map over an in-memory document.
+func MapBytes(b []byte) (res *Result, err error) {
+	defer guard.Recover(&err, "gem5.config")
+	var root map[string]any
+	dec := json.NewDecoder(bytes.NewReader(b))
+	if err := dec.Decode(&root); err != nil {
+		return nil, guard.Wrap(guard.ErrConfig, "gem5.config", err)
+	}
+	m := &mapper{root: root}
+	return m.run()
+}
+
+type obj = map[string]any
+
+type mapper struct {
+	root   obj
+	notes  []Note
+	defSrc string // "default (preset <name>)"
+}
+
+func (m *mapper) note(field string, value any, source string) {
+	m.notes = append(m.notes, Note{Field: field, Value: fmt.Sprint(value), Source: source})
+}
+
+func (m *mapper) run() (*Result, error) {
+	sys, ok := asObj(m.root["system"])
+	if !ok {
+		return nil, guard.Configf("gem5.config.system", "no \"system\" object in config.json")
+	}
+	cpus, cpuPath := cpuList(sys)
+	if len(cpus) == 0 {
+		return nil, guard.Configf("gem5.config.system.cpu", "no CPU objects under system (looked for cpu, cpus, switch_cpus)")
+	}
+	cpu0, ok := asObj(cpus[0])
+	if !ok {
+		return nil, guard.Configf("gem5.config.system."+cpuPath, "CPU entry is not an object")
+	}
+	ctype, _ := asStr(cpu0["type"])
+
+	// Pick the defaults preset from the CPU class: an out-of-order gem5
+	// CPU maps onto the OoO x86-class template, anything else onto the
+	// in-order one.
+	ooo := strings.Contains(ctype, "O3")
+	var pre presets.Preset
+	if ooo {
+		pre = presets.PenrynClass()
+	} else {
+		pre = presets.AtomClass()
+	}
+	m.defSrc = "default (preset " + pre.Name + ")"
+	cfg := pre.Config
+	cfg.Name = "gem5-import"
+	cfg.Core.OoO = ooo
+	cfg.NumCores = len(cpus)
+	m.note("NumCores", len(cpus), "config.json system."+cpuPath)
+	m.note("NM", cfg.NM, m.defSrc)
+	m.note("Core.OoO", ooo, "config.json system."+cpuPath+".type="+ctype)
+
+	hz, err := m.clockHz(cpu0, sys, "system."+cpuPath)
+	if err != nil {
+		return nil, err
+	}
+	if hz > 0 {
+		cfg.ClockHz = hz
+		m.note("ClockHz", hz, "config.json clk_domain.clock")
+	} else {
+		m.note("ClockHz", cfg.ClockHz, m.defSrc)
+	}
+
+	cp := "system." + cpuPath
+	m.setInt(&cfg.Core.Threads, cpu0, "numThreads", cp, "Core.Threads")
+	if ooo {
+		m.setInt(&cfg.Core.FetchWidth, cpu0, "fetchWidth", cp, "Core.FetchWidth")
+		m.setInt(&cfg.Core.DecodeWidth, cpu0, "decodeWidth", cp, "Core.DecodeWidth")
+		m.setInt(&cfg.Core.IssueWidth, cpu0, "issueWidth", cp, "Core.IssueWidth")
+		m.setInt(&cfg.Core.CommitWidth, cpu0, "commitWidth", cp, "Core.CommitWidth")
+		m.setInt(&cfg.Core.ROBEntries, cpu0, "numROBEntries", cp, "Core.ROBEntries")
+		m.setInt(&cfg.Core.IQEntries, cpu0, "numIQEntries", cp, "Core.IQEntries")
+		m.setInt(&cfg.Core.PhysIntRegs, cpu0, "numPhysIntRegs", cp, "Core.PhysIntRegs")
+		m.setInt(&cfg.Core.PhysFPRegs, cpu0, "numPhysFloatRegs", cp, "Core.PhysFPRegs")
+		m.setInt(&cfg.Core.LQEntries, cpu0, "LQEntries", cp, "Core.LQEntries")
+		m.setInt(&cfg.Core.SQEntries, cpu0, "SQEntries", cp, "Core.SQEntries")
+	}
+	if bp, ok := asObj(cpu0["branchPred"]); ok {
+		bpPath := cp + ".branchPred"
+		m.setInt(&cfg.Core.BTBEntries, bp, "BTBEntries", bpPath, "Core.BTBEntries")
+		m.setInt(&cfg.Core.RASEntries, bp, "RASSize", bpPath, "Core.RASEntries")
+		m.setInt(&cfg.Core.LocalPredEntries, bp, "localPredictorSize", bpPath, "Core.LocalPredEntries")
+		m.setInt(&cfg.Core.GlobalPredEntries, bp, "globalPredictorSize", bpPath, "Core.GlobalPredEntries")
+		m.setInt(&cfg.Core.ChooserEntries, bp, "choicePredictorSize", bpPath, "Core.ChooserEntries")
+	}
+	m.setTLB(&cfg.Core.ITLBEntries, cpu0, "itb", cp, "Core.ITLBEntries")
+	m.setTLB(&cfg.Core.DTLBEntries, cpu0, "dtb", cp, "Core.DTLBEntries")
+	m.setCache(&cfg.Core.ICache, cpu0, "icache", cp, "Core.ICache")
+	m.setCache(&cfg.Core.DCache, cpu0, "dcache", cp, "Core.DCache")
+
+	m.mapL2(&cfg, sys)
+	m.mapMC(&cfg, sys)
+
+	if err := validate(&cfg); err != nil {
+		return nil, err
+	}
+	return &Result{Config: cfg, Notes: m.notes, CPUType: ctype, Preset: pre.Name}, nil
+}
+
+// setInt maps one positive-integer parameter, falling back (with a
+// provenance note either way) to whatever *dst already holds.
+func (m *mapper) setInt(dst *int, o obj, key, jsonPath, field string) {
+	if v, ok := posInt(o[key]); ok {
+		*dst = v
+		m.note(field, v, "config.json "+jsonPath+"."+key)
+		return
+	}
+	m.note(field, *dst, m.defSrc)
+}
+
+// setTLB maps a TLB entry count from cpu.<key>.size, following either an
+// embedded object or (for gem5's MMU-era dumps) cpu.mmu.<key>.
+func (m *mapper) setTLB(dst *int, cpu obj, key, cpuPath, field string) {
+	tlb, ok := asObj(cpu[key])
+	path := cpuPath + "." + key
+	if !ok {
+		if mmu, mok := asObj(cpu["mmu"]); mok {
+			tlb, ok = asObj(mmu[key])
+			path = cpuPath + ".mmu." + key
+		}
+	}
+	if ok {
+		if v, vok := posInt(tlb["size"]); vok {
+			*dst = v
+			m.note(field, v, "config.json "+path+".size")
+			return
+		}
+	}
+	m.note(field, *dst, m.defSrc)
+}
+
+// setCache maps a private cache's size/assoc/block geometry from an
+// embedded cache object (or a dotted reference to one).
+func (m *mapper) setCache(dst *core.CacheParams, cpu obj, key, cpuPath, field string) {
+	c, path := m.deref(cpu[key], cpuPath+"."+key)
+	if c == nil {
+		m.note(field, fmt.Sprintf("%dB/%d-way", dst.Bytes, dst.Assoc), m.defSrc)
+		return
+	}
+	if v, ok := posInt(c["size"]); ok {
+		dst.Bytes = v
+		m.note(field+".Bytes", v, "config.json "+path+".size")
+	} else {
+		m.note(field+".Bytes", dst.Bytes, m.defSrc)
+	}
+	if v, ok := posInt(c["assoc"]); ok {
+		dst.Assoc = v
+		m.note(field+".Assoc", v, "config.json "+path+".assoc")
+	}
+	if tags, ok := asObj(c["tags"]); ok {
+		if v, ok := posInt(tags["block_size"]); ok {
+			dst.BlockBytes = v
+			m.note(field+".BlockBytes", v, "config.json "+path+".tags.block_size")
+		}
+	}
+}
+
+// mapL2 maps the shared L2 from the first of system.{l2,l2cache,l2_cache,
+// l2caches}; without one, the preset L2 is kept.
+func (m *mapper) mapL2(cfg *chip.Config, sys obj) {
+	for _, key := range []string{"l2", "l2cache", "l2_cache", "l2caches"} {
+		v := sys[key]
+		if l, ok := v.([]any); ok && len(l) > 0 {
+			v = l[0]
+		}
+		c, path := m.deref(v, "system."+key)
+		if c == nil {
+			continue
+		}
+		if cfg.L2 == nil {
+			cfg.L2 = &cache.Config{Name: "L2", BlockBytes: 64, Assoc: 8, Banks: 1}
+		}
+		if v, ok := posInt(c["size"]); ok {
+			cfg.L2.Bytes = v
+			m.note("L2.Bytes", v, "config.json "+path+".size")
+		}
+		if v, ok := posInt(c["assoc"]); ok {
+			cfg.L2.Assoc = v
+			m.note("L2.Assoc", v, "config.json "+path+".assoc")
+		}
+		if tags, ok := asObj(c["tags"]); ok {
+			if v, ok := posInt(tags["block_size"]); ok {
+				cfg.L2.BlockBytes = v
+				m.note("L2.BlockBytes", v, "config.json "+path+".tags.block_size")
+			}
+		}
+		return
+	}
+	if cfg.L2 != nil {
+		m.note("L2", fmt.Sprintf("%dB/%d-way", cfg.L2.Bytes, cfg.L2.Assoc), m.defSrc)
+	}
+}
+
+// mapMC maps the memory-controller channel count from the length of
+// system.mem_ctrls (object = one channel).
+func (m *mapper) mapMC(cfg *chip.Config, sys obj) {
+	v, ok := sys["mem_ctrls"]
+	if !ok {
+		v, ok = sys["mem_ctrl"]
+	}
+	if !ok {
+		if cfg.MC != nil {
+			m.note("MC.Channels", cfg.MC.Channels, m.defSrc)
+		}
+		return
+	}
+	n := 1
+	if l, lok := v.([]any); lok {
+		n = len(l)
+	}
+	if n > 0 && cfg.MC != nil {
+		cfg.MC.Channels = n
+		m.note("MC.Channels", n, "config.json system.mem_ctrls")
+	}
+}
+
+// clockHz resolves the CPU clock: the cpu's clk_domain (embedded object
+// or dotted reference), then the system's. gem5 records the period in
+// ticks (1 tick = 1 ps), possibly wrapped in a one-element list. A
+// present-but-degenerate period (zero, negative, or non-finite) is a
+// configuration error; an absent one returns 0 so the preset default
+// applies.
+func (m *mapper) clockHz(cpu, sys obj, cpuPath string) (float64, error) {
+	type owner struct {
+		o    obj
+		path string
+	}
+	for _, ow := range []owner{{cpu, cpuPath}, {sys, "system"}} {
+		dom, dpath := m.deref(ow.o["clk_domain"], ow.path+".clk_domain")
+		if dom == nil {
+			continue
+		}
+		cv := dom["clock"]
+		if l, ok := cv.([]any); ok {
+			if len(l) == 0 {
+				continue
+			}
+			cv = l[0]
+		}
+		ticks, ok := f64(cv)
+		if !ok {
+			if cv == nil {
+				continue
+			}
+			return 0, guard.Configf("gem5.config."+dpath+".clock", "clock period %v is not numeric", cv)
+		}
+		if !(ticks > 0) || math.IsInf(ticks, 0) || math.IsNaN(ticks) {
+			return 0, guard.Configf("gem5.config."+dpath+".clock", "clock period %v ticks is not a positive finite number", ticks)
+		}
+		hz := 1e12 / ticks // gem5 simulates at picosecond ticks
+		if math.IsNaN(hz) || math.IsInf(hz, 0) || hz <= 0 {
+			return 0, guard.Configf("gem5.config."+dpath+".clock", "clock period %v ticks maps to a non-finite frequency", ticks)
+		}
+		return hz, nil
+	}
+	return 0, nil
+}
+
+// deref follows a value that is either an embedded object or a dotted
+// path string referencing one elsewhere in the document (gem5 writes
+// cross-references as "system.cpu_clk_domain" strings).
+func (m *mapper) deref(v any, path string) (obj, string) {
+	switch t := v.(type) {
+	case map[string]any:
+		return t, path
+	case string:
+		if o, ok := asObj(resolve(m.root, t)); ok {
+			return o, t
+		}
+	}
+	return nil, path
+}
+
+// resolve walks a dotted path ("system.cpu_clk_domain") from the
+// document root, indexing lists by numeric segments.
+func resolve(root obj, path string) any {
+	var cur any = root
+	for _, seg := range strings.Split(path, ".") {
+		switch t := cur.(type) {
+		case map[string]any:
+			cur = t[seg]
+		case []any:
+			i, err := strconv.Atoi(seg)
+			if err != nil || i < 0 || i >= len(t) {
+				return nil
+			}
+			cur = t[i]
+		default:
+			return nil
+		}
+	}
+	return cur
+}
+
+// cpuList gathers the CPU objects under system, accepting both the
+// single-object and the list spellings gem5 emits.
+func cpuList(sys obj) ([]any, string) {
+	for _, key := range []string{"cpu", "cpus", "switch_cpus"} {
+		switch t := sys[key].(type) {
+		case map[string]any:
+			return []any{t}, key
+		case []any:
+			if len(t) > 0 {
+				return t, key
+			}
+		}
+	}
+	return nil, ""
+}
+
+func asObj(v any) (obj, bool) {
+	o, ok := v.(map[string]any)
+	return o, ok
+}
+
+func asStr(v any) (string, bool) {
+	s, ok := v.(string)
+	return s, ok
+}
+
+// f64 reads a JSON number, accepting the numeric-string spelling some
+// gem5 versions use. String forms that parse to NaN/Inf are rejected.
+func f64(v any) (float64, bool) {
+	switch t := v.(type) {
+	case float64:
+		return t, true
+	case json.Number:
+		f, err := t.Float64()
+		return f, err == nil
+	case string:
+		f, err := strconv.ParseFloat(t, 64)
+		if err != nil {
+			return 0, false
+		}
+		return f, true
+	}
+	return 0, false
+}
+
+// posInt reads a positive integer parameter, rejecting fractional,
+// non-finite, and absurdly large values (a fuzz guard: a 1e300 "cache
+// size" must not fold into the config).
+func posInt(v any) (int, bool) {
+	f, ok := f64(v)
+	if !ok || math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0, false
+	}
+	if f <= 0 || f > 1e12 || f != math.Trunc(f) {
+		return 0, false
+	}
+	return int(f), true
+}
+
+// validate is the final gate: every float the mapper may have written
+// must be finite and positive before the config is handed to chip.New.
+func validate(cfg *chip.Config) error {
+	if math.IsNaN(cfg.ClockHz) || math.IsInf(cfg.ClockHz, 0) || cfg.ClockHz <= 0 {
+		return guard.Configf("gem5.config.clk_domain.clock", "mapped clock %v Hz is not positive and finite", cfg.ClockHz)
+	}
+	if cfg.NumCores <= 0 || cfg.NumCores > 1<<16 {
+		return guard.Configf("gem5.config.system.cpu", "mapped core count %d out of range", cfg.NumCores)
+	}
+	return nil
+}

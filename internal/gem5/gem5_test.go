@@ -1,0 +1,152 @@
+package gem5
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+
+	"mcpat/internal/chip"
+	"mcpat/internal/guard"
+)
+
+func mapFile(t *testing.T) *Result {
+	t.Helper()
+	f, err := os.Open("testdata/config.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	res, err := Map(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestMapO3Config pins the core of the template-free mapping: every
+// field gem5 records lands in the chip config verbatim, with the clock
+// resolved through the dotted clk_domain reference.
+func TestMapO3Config(t *testing.T) {
+	res := mapFile(t)
+	cfg := res.Config
+	if res.CPUType != "DerivO3CPU" || res.Preset != "penryn-class" {
+		t.Fatalf("cpu type %q preset %q", res.CPUType, res.Preset)
+	}
+	if cfg.NumCores != 2 {
+		t.Fatalf("NumCores = %d", cfg.NumCores)
+	}
+	if cfg.ClockHz != 1e12/400 {
+		t.Fatalf("ClockHz = %v, want 2.5 GHz from the 400-tick cpu_clk_domain", cfg.ClockHz)
+	}
+	c := cfg.Core
+	if !c.OoO {
+		t.Fatal("O3 CPU must map to an out-of-order core")
+	}
+	if c.FetchWidth != 4 || c.IssueWidth != 4 || c.ROBEntries != 128 || c.IQEntries != 48 {
+		t.Fatalf("pipeline mapping: %+v", c)
+	}
+	if c.PhysIntRegs != 160 || c.PhysFPRegs != 160 || c.LQEntries != 32 || c.SQEntries != 24 {
+		t.Fatalf("buffer mapping: %+v", c)
+	}
+	if c.BTBEntries != 2048 || c.RASEntries != 16 || c.LocalPredEntries != 1024 ||
+		c.GlobalPredEntries != 4096 || c.ChooserEntries != 4096 {
+		t.Fatalf("branch predictor mapping: %+v", c)
+	}
+	if c.ITLBEntries != 64 || c.DTLBEntries != 64 {
+		t.Fatalf("TLB mapping: %d/%d", c.ITLBEntries, c.DTLBEntries)
+	}
+	if c.ICache.Bytes != 32768 || c.ICache.Assoc != 4 || c.ICache.BlockBytes != 64 {
+		t.Fatalf("icache mapping: %+v", c.ICache)
+	}
+	if c.DCache.Bytes != 65536 || c.DCache.Assoc != 8 {
+		t.Fatalf("dcache mapping: %+v", c.DCache)
+	}
+	if cfg.L2 == nil || cfg.L2.Bytes != 2097152 || cfg.L2.Assoc != 16 {
+		t.Fatalf("L2 mapping: %+v", cfg.L2)
+	}
+	if cfg.MC == nil || cfg.MC.Channels != 2 {
+		t.Fatalf("MC mapping: %+v", cfg.MC)
+	}
+	// A mapped config must synthesize out of the box.
+	if _, err := chip.New(cfg); err != nil {
+		t.Fatalf("mapped config does not synthesize: %v", err)
+	}
+}
+
+// TestMapProvenance pins the provenance trail: mapped fields cite their
+// config.json path, defaulted fields cite the preset.
+func TestMapProvenance(t *testing.T) {
+	res := mapFile(t)
+	bySrc := map[string]string{}
+	for _, n := range res.Notes {
+		bySrc[n.Field] = n.Source
+	}
+	if src := bySrc["Core.ROBEntries"]; !strings.Contains(src, "config.json system.cpu.numROBEntries") {
+		t.Fatalf("ROBEntries source = %q", src)
+	}
+	if src := bySrc["NM"]; !strings.Contains(src, "default (preset penryn-class)") {
+		t.Fatalf("NM source = %q", src)
+	}
+	if src := bySrc["MC.Channels"]; !strings.Contains(src, "config.json system.mem_ctrls") {
+		t.Fatalf("MC.Channels source = %q", src)
+	}
+}
+
+// TestMapInOrderPreset pins the preset selection: a non-O3 CPU keys the
+// in-order template.
+func TestMapInOrderPreset(t *testing.T) {
+	res, err := MapBytes([]byte(`{"system":{"cpu":{"type":"TimingSimpleCPU"}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Preset != "atom-class" || res.Config.Core.OoO {
+		t.Fatalf("preset %q OoO %v", res.Preset, res.Config.Core.OoO)
+	}
+	if res.Config.NumCores != 1 {
+		t.Fatalf("NumCores = %d", res.Config.NumCores)
+	}
+}
+
+// TestMapErrors pins the error taxonomy: malformed documents are
+// ErrConfig with a path into the JSON, never a panic.
+func TestMapErrors(t *testing.T) {
+	cases := []struct {
+		name, doc, path string
+	}{
+		{"not json", `{`, "gem5.config"},
+		{"no system", `{"foo":1}`, "gem5.config.system"},
+		{"no cpus", `{"system":{}}`, "gem5.config.system.cpu"},
+		{"empty cpu list", `{"system":{"cpu":[]}}`, "gem5.config.system.cpu"},
+		{"cpu not object", `{"system":{"cpu":[42]}}`, "gem5.config.system.cpu"},
+		{"zero clock", `{"system":{"cpu":{"type":"DerivO3CPU","clk_domain":{"clock":[0]}}}}`, ".clock"},
+		{"negative clock", `{"system":{"cpu":{"type":"DerivO3CPU","clk_domain":{"clock":-5}}}}`, ".clock"},
+		{"nan clock", `{"system":{"cpu":{"type":"DerivO3CPU","clk_domain":{"clock":"NaN"}}}}`, ".clock"},
+		{"inf clock", `{"system":{"cpu":{"type":"DerivO3CPU","clk_domain":{"clock":"+Inf"}}}}`, ".clock"},
+	}
+	for _, tc := range cases {
+		_, err := MapBytes([]byte(tc.doc))
+		if err == nil {
+			t.Fatalf("%s: no error", tc.name)
+		}
+		if !errors.Is(err, guard.ErrConfig) {
+			t.Fatalf("%s: %v is not ErrConfig", tc.name, err)
+		}
+		if p := guard.PathOf(err); !strings.Contains(p, tc.path) && !strings.Contains(err.Error(), tc.path) {
+			t.Fatalf("%s: path %q (err %v) does not mention %q", tc.name, p, err, tc.path)
+		}
+	}
+}
+
+// TestMapDanglingReference pins graceful degradation: a clk_domain
+// reference pointing nowhere falls back to the preset clock rather than
+// erroring.
+func TestMapDanglingReference(t *testing.T) {
+	res, err := MapBytes([]byte(`{"system":{"cpu":{"type":"DerivO3CPU","clk_domain":"system.no_such_domain"}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config.ClockHz != 2.4e9 {
+		t.Fatalf("ClockHz = %v, want the penryn-class default", res.Config.ClockHz)
+	}
+}

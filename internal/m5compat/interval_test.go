@@ -1,0 +1,92 @@
+package m5compat
+
+import (
+	"strings"
+	"testing"
+)
+
+// threeDumps is a minimal multi-dump stream with distinct activity per
+// interval and a shorter final interval.
+const threeDumps = `
+---------- Begin Simulation Statistics ----------
+sim_seconds 0.002 # seconds
+system.cpu0.numCycles 4000000 #
+system.cpu1.numCycles 4000000 #
+system.cpu0.committedInsts 4000000 #
+system.cpu1.committedInsts 4000000 #
+---------- Begin Simulation Statistics ----------
+sim_seconds 0.001 # seconds
+system.cpu0.numCycles 2000000 #
+system.cpu1.numCycles 2000000 #
+system.cpu0.committedInsts 1000000 #
+system.cpu1.committedInsts 1000000 #
+---------- Begin Simulation Statistics ----------
+system.cpu0.numCycles 1000000 #
+system.cpu1.numCycles 1000000 #
+system.cpu0.committedInsts 1500000 #
+system.cpu1.committedInsts 1500000 #
+`
+
+// TestToChipStatsAt pins per-interval selection: each dump converts
+// independently, with per-dump cycle counts as the rate denominator.
+func TestToChipStatsAt(t *testing.T) {
+	dumps, err := Parse(strings.NewReader(threeDumps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dumps) != 3 {
+		t.Fatalf("parsed %d dumps, want 3", len(dumps))
+	}
+	const hz = 2e9
+	wantIPC := []float64{1.0, 0.5, 1.5}
+	for i, want := range wantIPC {
+		s, err := ToChipStatsAt(dumps, i, hz, 2)
+		if err != nil {
+			t.Fatalf("dump %d: %v", i, err)
+		}
+		if s.CoreRun.Decode != want {
+			t.Fatalf("dump %d: committed/cycle = %v, want %v", i, s.CoreRun.Decode, want)
+		}
+	}
+	// The last-dump shortcut and the indexed path agree.
+	last, err := ToChipStats(dumps[2], hz, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, err := ToChipStatsAt(dumps, 2, hz, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *last != *at {
+		t.Fatalf("indexed conversion differs from direct: %+v vs %+v", last, at)
+	}
+	if _, err := ToChipStatsAt(dumps, 3, hz, 2); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if _, err := ToChipStatsAt(dumps, -1, hz, 2); err == nil {
+		t.Fatal("negative index accepted")
+	}
+}
+
+// TestSimSeconds pins the interval-duration helper: sim_seconds wins
+// when present, cycles/clock otherwise, error when neither exists.
+func TestSimSeconds(t *testing.T) {
+	dumps, err := Parse(strings.NewReader(threeDumps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hz = 2e9
+	if s, err := SimSeconds(dumps[0], hz); err != nil || s != 0.002 {
+		t.Fatalf("dump 0: %v, %v", s, err)
+	}
+	// Dump 2 has no sim_seconds: 1e6 cycles at 2 GHz = 0.5 ms.
+	if s, err := SimSeconds(dumps[2], hz); err != nil || s != 0.0005 {
+		t.Fatalf("dump 2: %v, %v", s, err)
+	}
+	if _, err := SimSeconds(Dump{}, hz); err == nil {
+		t.Fatal("empty dump accepted")
+	}
+	if _, err := SimSeconds(dumps[2], 0); err == nil {
+		t.Fatal("zero clock accepted for cycle-derived duration")
+	}
+}

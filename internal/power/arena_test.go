@@ -1,0 +1,109 @@
+package power
+
+import "testing"
+
+// sameLeaf compares two leaf Items field by field (exact equality).
+func sameLeaf(a, b *Item) bool {
+	return a.Name == b.Name && a.Area == b.Area &&
+		a.PeakDynamic == b.PeakDynamic && a.RuntimeDynamic == b.RuntimeDynamic &&
+		a.SubLeak == b.SubLeak && a.GateLeak == b.GateLeak &&
+		a.LeakSaved == b.LeakSaved && len(a.Children) == len(b.Children)
+}
+
+// TestArenaNilFallback pins the nil-receiver contract: a nil *Arena
+// must behave exactly like the package-level constructors.
+func TestArenaNilFallback(t *testing.T) {
+	var ar *Arena
+	it := ar.NewItem("x")
+	if it == nil || it.Name != "x" {
+		t.Fatalf("nil arena NewItem = %+v", it)
+	}
+	itn := ar.NewItemN("y", 3)
+	if cap(itn.Children) != 3 || len(itn.Children) != 0 {
+		t.Fatalf("nil arena NewItemN children len/cap = %d/%d", len(itn.Children), cap(itn.Children))
+	}
+	pat := PAT{Energy: Energy{Read: 2, Write: 3}, Static: Static{Sub: 1, Gate: 0.5}, Area: 7}
+	peak := Activity{Reads: 10, Writes: 5}
+	run := Activity{Reads: 1}
+	a := ar.FromPAT("leaf", pat, peak, run)
+	b := FromPAT("leaf", pat, peak, run)
+	if !sameLeaf(a, b) {
+		t.Fatalf("nil arena FromPAT mismatch: %+v vs %+v", a, b)
+	}
+}
+
+// TestArenaFromPATMatchesHeap pins bit-identity of the arena leaf
+// constructor against the heap one for a non-trivial activity mix.
+func TestArenaFromPATMatchesHeap(t *testing.T) {
+	var ar Arena
+	pat := PAT{Energy: Energy{Read: 1.5e-12, Write: 2.5e-12, Search: 0.5e-12},
+		Static: Static{Sub: 0.033, Gate: 0.011}, Area: 1.25e-6}
+	peak := Activity{Reads: 3.2e9, Writes: 1.1e9, Searches: 4.4e8}
+	run := Activity{Reads: 0.7e9, Writes: 0.2e9, Searches: 1.1e8}
+	got := ar.FromPAT("leaf", pat, peak, run)
+	want := FromPAT("leaf", pat, peak, run)
+	if !sameLeaf(got, want) {
+		t.Fatalf("arena FromPAT differs from heap: %+v vs %+v", got, want)
+	}
+}
+
+// TestArenaReuse pins the reuse contract: after a Reset, allocation
+// serves the same backing memory again (no growth), and every Item
+// comes back fully zeroed even if the previous pass dirtied it.
+func TestArenaReuse(t *testing.T) {
+	var ar Arena
+	first := make([]*Item, 0, 600) // spans multiple chunks
+	for i := 0; i < 600; i++ {
+		it := ar.NewItemN("n", 4)
+		it.Area = 42
+		it.LeakSaved = 7
+		it.Children = append(it.Children, ar.NewItem("c"))
+		it.Rollup()
+		first = append(first, it)
+	}
+	ar.Reset()
+	for i := 0; i < 600; i++ {
+		it := ar.NewItem("again")
+		if it.Area != 0 || it.LeakSaved != 0 || it.Children != nil || it.rolled {
+			t.Fatalf("item %d not zeroed after reset: %+v", i, it)
+		}
+	}
+	ar.Reset()
+	// Steady state: a full pass after warm-up must not allocate.
+	allocs := testing.AllocsPerRun(10, func() {
+		ar.Reset()
+		for i := 0; i < 600; i++ {
+			parent := ar.NewItemN("p", 2)
+			parent.Add(ar.FromPAT("l", PAT{}, Activity{}, Activity{}))
+			parent.Rollup()
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("warm arena pass allocated %v times per run", allocs)
+	}
+	_ = first
+}
+
+// TestArenaChildrenOverflow pins the safety valve: a Children slice
+// that outgrows its arena window must spill to the heap via append
+// without corrupting neighbouring windows.
+func TestArenaChildrenOverflow(t *testing.T) {
+	var ar Arena
+	a := ar.NewItemN("a", 1)
+	b := ar.NewItemN("b", 1)
+	for i := 0; i < 8; i++ {
+		a.Add(ar.NewItem("child"))
+	}
+	b.Add(ar.NewItem("only"))
+	if len(a.Children) != 8 {
+		t.Fatalf("overflowed slice has %d children", len(a.Children))
+	}
+	if len(b.Children) != 1 || b.Children[0].Name != "only" {
+		t.Fatalf("neighbour window corrupted: %+v", b.Children)
+	}
+	// Oversized request falls back to a heap slice outright.
+	big := ar.NewItemN("big", arenaPtrChunk+1)
+	if cap(big.Children) != arenaPtrChunk+1 {
+		t.Fatalf("oversized children cap = %d", cap(big.Children))
+	}
+}

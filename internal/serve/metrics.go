@@ -44,6 +44,12 @@ type metrics struct {
 
 	inFlight atomic.Int64
 
+	// traceStreams counts /v1/trace streams that reached the streaming
+	// phase (setup succeeded); traceSamples counts interval records
+	// written across all of them.
+	traceStreams atomic.Uint64
+	traceSamples atomic.Uint64
+
 	jobsSubmitted atomic.Uint64
 	jobsDone      atomic.Uint64
 	jobsFailed    atomic.Uint64
@@ -114,6 +120,12 @@ type JobMetricsJSON struct {
 	QueueDepth int    `json:"queue_depth"`
 }
 
+// TraceMetricsJSON is the /v1/trace section of the snapshot.
+type TraceMetricsJSON struct {
+	Streams uint64 `json:"streams"`
+	Samples uint64 `json:"samples"`
+}
+
 // MetricsSnapshot is the GET /metrics body.
 type MetricsSnapshot struct {
 	UptimeSec float64 `json:"uptime_sec"`
@@ -122,6 +134,9 @@ type MetricsSnapshot struct {
 	Requests map[string]map[string]uint64 `json:"requests"`
 	Latency  map[string]LatencyJSON       `json:"latency_ms"`
 	Jobs     JobMetricsJSON               `json:"jobs"`
+	// Trace reports the streaming power-trace endpoint's activity: the
+	// number of streams that began and the interval samples emitted.
+	Trace TraceMetricsJSON `json:"trace"`
 	// Cache reports the array-synthesis cache activity since the server
 	// started (Entries is the current resident total).
 	Cache CacheStatsJSON `json:"synth_cache"`
@@ -164,6 +179,10 @@ func (m *metrics) snapshot() MetricsSnapshot {
 			Canceled:  m.jobsCanceled.Load(),
 			Rejected:  m.jobsRejected.Load(),
 			Recovered: m.jobsRecovered.Load(),
+		},
+		Trace: TraceMetricsJSON{
+			Streams: m.traceStreams.Load(),
+			Samples: m.traceSamples.Load(),
 		},
 		Cache:         newCacheStatsJSON(array.Stats().Delta(m.cacheBase)),
 		Subsys:        newSubsysCacheStatsJSON(component.Stats().Delta(m.subsysBase)),

@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"mcpat/internal/chip"
+	"mcpat/internal/guard"
+	"mcpat/internal/m5compat"
+	"mcpat/internal/presets"
+	"mcpat/internal/trace"
+)
+
+// maxTraceBodyBytes bounds POST /v1/trace bodies: unlike chip
+// descriptions, a stats.txt with thousands of interval dumps is
+// legitimately large.
+const maxTraceBodyBytes = 64 << 20
+
+// TraceRequest is the JSON body of POST /v1/trace. The chip comes from
+// exactly one of Gem5Config (a raw gem5 config.json document, mapped
+// template-free), Preset, or Config; StatsTxt is the gem5 statistics
+// stream whose dumps become the trace intervals.
+type TraceRequest struct {
+	// Gem5Config is an embedded gem5 config.json document.
+	Gem5Config json.RawMessage `json:"gem5_config,omitempty"`
+	// Preset names a bundled chip template; ignored when Gem5Config is
+	// set.
+	Preset string `json:"preset,omitempty"`
+	// Config is the native chip description; ignored when Gem5Config or
+	// Preset is set.
+	Config *chip.Config `json:"config,omitempty"`
+	// StatsTxt is the raw stats.txt content (multi-dump).
+	StatsTxt string `json:"stats_txt"`
+}
+
+// handleTrace serves POST /v1/trace: map + synthesize the chip once,
+// then stream one NDJSON record per statistics interval — a "chip"
+// header, one "sample" per dump, and a closing "summary" (the same
+// framing trace.Trace.WriteNDJSON emits). Setup errors arrive as a
+// plain JSON error body with the guard classification; errors after
+// streaming has begun arrive as a final {"type":"error"} record.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	// Trace setup runs a full chip synthesis, so it competes with
+	// /v1/evaluate for the same admission slots.
+	select {
+	case s.evalSem <- struct{}{}:
+		defer func() { <-s.evalSem }()
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			&APIError{Kind: kindOverloaded, Message: "evaluation capacity saturated; retry"})
+		return
+	}
+
+	var req TraceRequest
+	body := http.MaxBytesReader(nil, r.Body, maxTraceBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest,
+			&APIError{Kind: kindBadRequest, Message: fmt.Sprintf("parse JSON: %v", err)})
+		return
+	}
+
+	// Setup (mapping + the one synthesis) honors the request deadline
+	// with the same goroutine containment as /v1/evaluate; the streaming
+	// phase afterwards is bounded by the client connection instead.
+	setupCtx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		setupCtx, cancel = context.WithTimeout(setupCtx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	type out struct {
+		eng *trace.Engine
+		ivs []trace.Interval
+		err error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		eng, ivs, err := traceSetup(&req)
+		ch <- out{eng, ivs, err}
+	}()
+	var o out
+	select {
+	case o = <-ch:
+	case <-setupCtx.Done():
+		writeModelError(w, setupCtx.Err())
+		return
+	}
+	if o.err != nil {
+		writeModelError(w, o.err)
+		return
+	}
+
+	s.metrics.traceStreams.Add(1)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	h := o.eng.Header(len(o.ivs))
+	if err := trace.WriteRecord(w, trace.Record{Type: "chip", Chip: &h}); err != nil {
+		return // client went away before the header flushed
+	}
+	flush()
+
+	tr, err := o.eng.Run(r.Context(), o.ivs, func(smp trace.Sample) error {
+		if err := trace.WriteRecord(w, trace.Record{Type: "sample", Sample: &smp}); err != nil {
+			return err
+		}
+		flush()
+		s.metrics.traceSamples.Add(1)
+		return nil
+	})
+	if err != nil {
+		// The status line is gone; the error travels in-band as a final
+		// record (write errors mean the client is gone — nothing to do).
+		if b, merr := json.Marshal(struct {
+			Type  string   `json:"type"`
+			Error APIError `json:"error"`
+		}{Type: "error", Error: *apiError(err)}); merr == nil {
+			_, _ = w.Write(append(b, '\n'))
+		}
+		flush()
+		return
+	}
+	sum := tr.Summary
+	_ = trace.WriteRecord(w, trace.Record{Type: "summary", Summary: &sum})
+	flush()
+}
+
+// traceSetup resolves the chip source, synthesizes the engine, and
+// parses the interval stream. Every error carries a guard kind.
+func traceSetup(req *TraceRequest) (*trace.Engine, []trace.Interval, error) {
+	if strings.TrimSpace(req.StatsTxt) == "" {
+		return nil, nil, guard.Configf("trace.stats", "stats_txt is required")
+	}
+	if len(req.Gem5Config) > 0 {
+		eng, ivs, _, err := trace.FromGem5(bytes.NewReader(req.Gem5Config), strings.NewReader(req.StatsTxt))
+		return eng, ivs, err
+	}
+	cfg := req.Config
+	if req.Preset != "" {
+		p, err := presets.ByName(req.Preset)
+		if err != nil {
+			return nil, nil, guard.Configf("trace", "unknown preset %q", req.Preset)
+		}
+		cfg = &p.Config
+	}
+	if cfg == nil {
+		return nil, nil, guard.Configf("trace", "one of gem5_config, preset, or config is required")
+	}
+	eng, err := trace.NewEngine(*cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	dumps, err := m5compat.Parse(strings.NewReader(req.StatsTxt))
+	if err != nil {
+		return nil, nil, guard.Wrap(guard.ErrConfig, "trace.stats", err)
+	}
+	ivs, err := trace.IntervalsFromDumps(dumps, cfg.ClockHz, cfg.NumCores)
+	if err != nil {
+		return nil, nil, err
+	}
+	return eng, ivs, nil
+}

@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"mcpat/internal/trace"
+)
+
+// gem5Fixture loads the checked-in config.json/stats.txt pair.
+func gem5Fixture(t *testing.T) (config, stats string) {
+	t.Helper()
+	cfg, err := os.ReadFile("../trace/testdata/config.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.ReadFile("../trace/testdata/stats.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(cfg), string(st)
+}
+
+// postTrace posts a trace request and returns the response without
+// reading the body (callers stream it).
+func postTrace(t *testing.T, url string, req TraceRequest) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/trace", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestTraceStreamsNDJSON pins the endpoint's contract: the stream is
+// application/x-ndjson framed chip/sample.../summary, and the records
+// are exactly what the library engine produces for the same pair.
+func TestTraceStreamsNDJSON(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cfgJSON, statsTxt := gem5Fixture(t)
+
+	resp := postTrace(t, ts.URL, TraceRequest{
+		Gem5Config: json.RawMessage(cfgJSON),
+		StatsTxt:   statsTxt,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	var types []string
+	var samples []trace.Sample
+	var summary *trace.Summary
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec trace.Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		types = append(types, rec.Type)
+		switch rec.Type {
+		case "chip":
+			if rec.Chip == nil || rec.Chip.NumCores != 2 || rec.Chip.ClockHz != 2.5e9 {
+				t.Fatalf("chip header %+v", rec.Chip)
+			}
+			if rec.Chip.Intervals != 3 || rec.Chip.TDPW <= 0 {
+				t.Fatalf("chip header %+v", rec.Chip)
+			}
+		case "sample":
+			samples = append(samples, *rec.Sample)
+		case "summary":
+			summary = rec.Summary
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(types, ",") != "chip,sample,sample,sample,summary" {
+		t.Fatalf("frame sequence %v", types)
+	}
+
+	// The streamed records match a library-side run over the same input.
+	eng, ivs, _, err := trace.FromGem5(strings.NewReader(cfgJSON), strings.NewReader(statsTxt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.Run(context.Background(), ivs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range samples {
+		w := want.Samples[i]
+		if s.TotalW != w.TotalW || s.DynamicW != w.DynamicW || s.EnergyJ != w.EnergyJ {
+			t.Fatalf("sample %d: streamed %+v vs library %+v", i, s, w)
+		}
+	}
+	if summary == nil || *summary != want.Summary {
+		t.Fatalf("summary %+v vs %+v", summary, want.Summary)
+	}
+}
+
+// TestTracePresetSource pins the alternate chip sources: a preset plus
+// raw stats works without a gem5 config.
+func TestTracePresetSource(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, statsTxt := gem5Fixture(t)
+	resp := postTrace(t, ts.URL, TraceRequest{Preset: "atom-class", StatsTxt: statsTxt})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var n int
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		n++
+	}
+	if n != 5 {
+		t.Fatalf("%d records", n)
+	}
+}
+
+// TestTraceBadRequests pins the pre-stream error contract: setup
+// failures are plain JSON error bodies with guard classification — a
+// malformed gem5 config is 400/"config" with the JSON path.
+func TestTraceBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, statsTxt := gem5Fixture(t)
+	cases := []struct {
+		name   string
+		req    TraceRequest
+		status int
+		kind   string
+		path   string
+	}{
+		{"no source", TraceRequest{StatsTxt: statsTxt}, 400, "config", ""},
+		{"no stats", TraceRequest{Preset: "atom-class"}, 400, "config", ""},
+		{"unknown preset", TraceRequest{Preset: "nope", StatsTxt: statsTxt}, 400, "config", ""},
+		{"bad gem5 config", TraceRequest{Gem5Config: json.RawMessage(`{"system":{}}`), StatsTxt: statsTxt},
+			400, "config", "gem5.config.system.cpu"},
+		{"gem5 zero clock", TraceRequest{
+			Gem5Config: json.RawMessage(`{"system":{"cpu":{"type":"DerivO3CPU","clk_domain":{"clock":[0]}}}}`),
+			StatsTxt:   statsTxt}, 400, "config", ".clock"},
+		{"empty stats", TraceRequest{Preset: "atom-class", StatsTxt: "no counters here"}, 400, "config", "trace.stats"},
+	}
+	for _, tc := range cases {
+		resp := postTrace(t, ts.URL, tc.req)
+		var body ErrorBody
+		err := json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if resp.StatusCode != tc.status || body.Error.Kind != tc.kind {
+			t.Fatalf("%s: %d/%s (%s)", tc.name, resp.StatusCode, body.Error.Kind, body.Error.Message)
+		}
+		if tc.path != "" && !strings.Contains(body.Error.Path, tc.path) {
+			t.Fatalf("%s: path %q lacks %q", tc.name, body.Error.Path, tc.path)
+		}
+	}
+}
+
+// TestTraceClientCancelMidStream pins streaming teardown: a client that
+// disappears mid-stream must not wedge the server — the next request
+// completes normally.
+func TestTraceClientCancelMidStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cfgJSON, statsTxt := gem5Fixture(t)
+	b, err := json.Marshal(TraceRequest{Gem5Config: json.RawMessage(cfgJSON), StatsTxt: statsTxt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/trace", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	// Read just the first record, then abandon the stream.
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	cancel()
+	resp.Body.Close()
+
+	// The server stays healthy: a fresh stream completes end to end.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp2 := postTrace(t, ts.URL, TraceRequest{Gem5Config: json.RawMessage(cfgJSON), StatsTxt: statsTxt})
+		if resp2.StatusCode == http.StatusOK {
+			var n int
+			sc := bufio.NewScanner(resp2.Body)
+			sc.Buffer(make([]byte, 1<<20), 1<<20)
+			for sc.Scan() {
+				n++
+			}
+			resp2.Body.Close()
+			if n != 5 {
+				t.Fatalf("%d records after cancel", n)
+			}
+			return
+		}
+		resp2.Body.Close()
+		if time.Now().After(deadline) {
+			t.Fatalf("server did not recover after client cancel: status %d", resp2.StatusCode)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestTraceMetrics pins the counters: streams and per-interval samples
+// show up in the /metrics snapshot.
+func TestTraceMetrics(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	cfgJSON, statsTxt := gem5Fixture(t)
+	resp := postTrace(t, ts.URL, TraceRequest{Gem5Config: json.RawMessage(cfgJSON), StatsTxt: statsTxt})
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+	}
+	resp.Body.Close()
+	snap := s.metrics.snapshot()
+	if snap.Trace.Streams != 1 || snap.Trace.Samples != 3 {
+		t.Fatalf("trace metrics %+v", snap.Trace)
+	}
+}

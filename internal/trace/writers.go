@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteRecord writes one NDJSON frame (a single line of JSON).
+func WriteRecord(w io.Writer, rec Record) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteNDJSON streams the materialized trace in the same framing the
+// service emits: one chip record, one record per sample, one summary.
+func (t *Trace) WriteNDJSON(w io.Writer) error {
+	h := t.Chip
+	if err := WriteRecord(w, Record{Type: "chip", Chip: &h}); err != nil {
+		return err
+	}
+	for i := range t.Samples {
+		if err := WriteRecord(w, Record{Type: "sample", Sample: &t.Samples[i]}); err != nil {
+			return err
+		}
+	}
+	s := t.Summary
+	return WriteRecord(w, Record{Type: "summary", Summary: &s})
+}
+
+// WriteCSV writes the trace as a spreadsheet-friendly table: one row per
+// interval, fixed power/energy columns, then one total-watts column per
+// top-level subsystem (taken from the first sample's breakdown).
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cols := []string{"index", "start_s", "duration_s", "dynamic_w", "leakage_w", "total_w", "energy_j"}
+	var subs []string
+	if len(t.Samples) > 0 {
+		for _, sp := range t.Samples[0].Subsystems {
+			subs = append(subs, sp.Name)
+			cols = append(cols, csvName(sp.Name)+"_w")
+		}
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, s := range t.Samples {
+		row := fmt.Sprintf("%d,%g,%g,%g,%g,%g,%g",
+			s.Index, s.StartS, s.DurationS, s.DynamicW, s.LeakageW, s.TotalW, s.EnergyJ)
+		byName := make(map[string]float64, len(s.Subsystems))
+		for _, sp := range s.Subsystems {
+			byName[sp.Name] = sp.TotalW
+		}
+		for _, name := range subs {
+			row += fmt.Sprintf(",%g", byName[name])
+		}
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// csvName lowercases a subsystem name into a column-safe slug.
+func csvName(name string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

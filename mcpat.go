@@ -51,6 +51,7 @@ import (
 	"mcpat/internal/dram"
 	"mcpat/internal/explore"
 	"mcpat/internal/floorplan"
+	"mcpat/internal/gem5"
 	"mcpat/internal/guard"
 	"mcpat/internal/m5compat"
 	"mcpat/internal/mc"
@@ -62,6 +63,7 @@ import (
 	"mcpat/internal/study"
 	"mcpat/internal/tech"
 	"mcpat/internal/thermal"
+	"mcpat/internal/trace"
 	"mcpat/internal/tracesim"
 	"mcpat/internal/validation"
 )
@@ -323,6 +325,79 @@ func M5ToStats(d M5Dump, clockHz float64, numCores int) (*Stats, error) {
 	return m5compat.ToChipStats(d, clockHz, numCores)
 }
 
+// ParseM5StatsAll reads every dump of an M5/gem5 stats.txt stream in
+// order — the multi-interval entry point behind power traces.
+func ParseM5StatsAll(r io.Reader) ([]M5Dump, error) { return m5compat.Parse(r) }
+
+// M5ToStatsAt converts the i-th dump of a multi-dump stream into the
+// runtime statistics vector.
+func M5ToStatsAt(dumps []M5Dump, i int, clockHz float64, numCores int) (*Stats, error) {
+	return m5compat.ToChipStatsAt(dumps, i, clockHz, numCores)
+}
+
+// M5DumpSeconds reports the simulated duration one dump covers
+// (sim_seconds when present, cycles over the clock otherwise).
+func M5DumpSeconds(d M5Dump, clockHz float64) (float64, error) {
+	return m5compat.SimSeconds(d, clockHz)
+}
+
+// Native gem5 ingestion: template-free mapping of a gem5 config.json
+// onto a chip configuration, with per-field provenance.
+type (
+	// Gem5Result is a mapped gem5 configuration: the chip description
+	// plus the provenance trail and the preset that filled the gaps.
+	Gem5Result = gem5.Result
+	// Gem5Note records where one mapped field came from (config.json
+	// path or preset default).
+	Gem5Note = gem5.Note
+)
+
+// MapGem5Config maps a gem5 config.json document onto a chip
+// configuration. Fields the dump records are taken verbatim; everything
+// else defaults from a processor-class preset keyed to the CPU type,
+// and every field carries a provenance note. Malformed documents are
+// ErrConfig with a path into the JSON — never a panic.
+func MapGem5Config(r io.Reader) (*Gem5Result, error) { return gem5.Map(r) }
+
+// Time-series power traces: synthesize the chip once, score one cheap
+// pure pass per statistics interval.
+type (
+	// TraceEngine scores intervals against one synthesized chip.
+	TraceEngine = trace.Engine
+	// TraceInterval is one statistics window (runtime vector + seconds).
+	TraceInterval = trace.Interval
+	// TraceSample is the scored power of one interval.
+	TraceSample = trace.Sample
+	// TraceSummary aggregates a finished trace (energy, average, peak).
+	TraceSummary = trace.Summary
+	// TraceHeader describes the chip a trace was scored against.
+	TraceHeader = trace.Header
+	// PowerTrace is a materialized trace: header, samples, summary. Its
+	// WriteNDJSON/WriteCSV methods serialize it in the same formats the
+	// service and mcpat-trace emit.
+	PowerTrace = trace.Trace
+	// TraceRecord is one NDJSON frame of a streamed trace.
+	TraceRecord = trace.Record
+)
+
+// NewTraceEngine synthesizes cfg once and returns an engine whose Run
+// method scores statistics intervals into a PowerTrace. Per-interval
+// reports are bit-identical to Report over the same statistics.
+func NewTraceEngine(cfg Config) (*TraceEngine, error) { return trace.NewEngine(cfg) }
+
+// TraceIntervalsFromDumps converts parsed gem5 dumps into trace
+// intervals for a chip with the given clock and core count.
+func TraceIntervalsFromDumps(dumps []M5Dump, clockHz float64, numCores int) ([]TraceInterval, error) {
+	return trace.IntervalsFromDumps(dumps, clockHz, numCores)
+}
+
+// TraceFromGem5 wires the native pipeline end to end: map config.json,
+// synthesize the chip once, and convert every stats.txt dump into an
+// interval ready for TraceEngine.Run.
+func TraceFromGem5(configJSON, statsTxt io.Reader) (*TraceEngine, []TraceInterval, *Gem5Result, error) {
+	return trace.FromGem5(configJSON, statsTxt)
+}
+
 // Design-space exploration.
 type (
 	// DSESpace enumerates the design axes to sweep.
@@ -416,6 +491,9 @@ type (
 	JobStatus = serve.JobStatus
 	// APIError is the structured error detail of non-2xx responses.
 	APIError = serve.APIError
+	// TraceRequest is the POST /v1/trace JSON body (gem5 config.json or
+	// preset/config plus a multi-dump stats.txt).
+	TraceRequest = serve.TraceRequest
 )
 
 // NewServer builds the evaluation service; see cmd/mcpatd for the

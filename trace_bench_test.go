@@ -1,0 +1,116 @@
+package mcpat_test
+
+// Trace-path benchmarks: measure the per-interval cost of the time-series
+// power engine (internal/trace), the workload the synthesize/score split
+// was built for. BenchmarkTraceScore is the steady-state hot path a long
+// stats.txt replay pays per dump: one arena-backed Score pass over the
+// already-synthesized chip. The Heap variant drops the arena (every
+// report Item allocated individually) and the FullEvaluate variant
+// re-synthesizes the chip every interval — the naive pipeline a user
+// would write without the engine. BENCH_dse.json's trace_path section
+// records the reference numbers; the allocs/op gap between Score and
+// FullEvaluate is the acceptance metric.
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"mcpat"
+)
+
+// traceBenchFixture maps the checked-in gem5 example pair once and
+// returns the synthesized engine plus its intervals.
+func traceBenchFixture(b *testing.B) (*mcpat.TraceEngine, []mcpat.TraceInterval, mcpat.Config) {
+	b.Helper()
+	cfgF, err := os.Open("examples/gem5-trace/config.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cfgF.Close()
+	statsF, err := os.Open("examples/gem5-trace/stats.txt")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer statsF.Close()
+	eng, ivs, res, err := mcpat.TraceFromGem5(cfgF, statsF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(ivs) < 2 {
+		b.Fatalf("fixture has %d intervals, want >= 2", len(ivs))
+	}
+	return eng, ivs, res.Config
+}
+
+// BenchmarkTraceScore is the engine's hot path: one arena-backed Score
+// pass per interval against the chip synthesized once up front. This is
+// the per-dump cost of replaying a long stats.txt stream.
+func BenchmarkTraceScore(b *testing.B) {
+	eng, ivs, _ := traceBenchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		iv := ivs[i%len(ivs)]
+		if _, err := eng.Score(i, 0, iv); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "intervals/s")
+}
+
+// BenchmarkTraceScoreHeap scores the same intervals through the plain
+// heap report path (no arena): the chip is still synthesized once, but
+// every report Item is an individual allocation. The gap to
+// BenchmarkTraceScore is the arena's contribution alone.
+func BenchmarkTraceScoreHeap(b *testing.B) {
+	eng, ivs, _ := traceBenchFixture(b)
+	proc := eng.Processor()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		iv := ivs[i%len(ivs)]
+		if _, err := proc.ReportE(iv.Stats); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "intervals/s")
+}
+
+// BenchmarkTraceFullEvaluate is the naive per-interval pipeline the
+// engine replaces: re-synthesize the chip for every dump, then report.
+// Synthesis caches stay at their defaults (warm after the first
+// iteration), so this is the BEST case for the naive loop — the engine
+// still wins on both time and allocations because a warm chip.New must
+// re-assemble and re-validate the whole hierarchy per call.
+func BenchmarkTraceFullEvaluate(b *testing.B) {
+	_, ivs, cfg := traceBenchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		iv := ivs[i%len(ivs)]
+		p, err := mcpat.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Report(iv.Stats)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "intervals/s")
+}
+
+// BenchmarkTraceRun measures a whole Run over the example's three
+// intervals — header, per-interval scoring, and summary folding — the
+// unit of work one /v1/trace request or one mcpat-trace invocation pays
+// after synthesis.
+func BenchmarkTraceRun(b *testing.B) {
+	eng, ivs, _ := traceBenchFixture(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(ctx, ivs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*len(ivs))/b.Elapsed().Seconds(), "intervals/s")
+}
