@@ -1,0 +1,116 @@
+// DVFS-throttle example: the closed power/thermal/DVFS loop over the
+// checked-in gem5 trace. Each interval's power heats a floorplan-derived
+// lumped thermal model; the hotspot temperature feeds the next
+// interval's leakage retune (temperature is a Score-time input — the
+// chip is synthesized exactly once) and a thermal-headroom governor that
+// sheds frequency and voltage when the junction limit approaches. The
+// same trace is run three ways so the feedback is visible: open loop,
+// closed loop without a governor (the chip runs hot), and closed loop
+// with the governor (throttled intervals trade performance for
+// temperature).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"mcpat"
+)
+
+func runTrace(eng *mcpat.TraceEngine, ivs []mcpat.TraceInterval) *mcpat.PowerTrace {
+	tr, err := eng.Run(context.Background(), ivs, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return tr
+}
+
+func main() {
+	cfgF, err := os.Open("examples/gem5-trace/config.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cfgF.Close()
+	statsF, err := os.Open("examples/gem5-trace/stats.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer statsF.Close()
+	eng, ivs, res, err := mcpat.TraceFromGem5(cfgF, statsF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chip: %d cores @ %.1f GHz, %d intervals\n\n",
+		res.Config.NumCores, res.Config.ClockHz/1e9, len(ivs))
+
+	// A deliberately constrained cooling solution so the short example
+	// trace actually crosses the junction limit.
+	pkg := mcpat.PackageSpec{
+		RthetaJA:   0.8,  // K/W — a small passive heatsink
+		AmbientK:   318,  // 45 C inside the chassis
+		MaxTjK:     360,  // 87 C junction limit
+		TimeConstS: 5e-4, // package RC: comparable to the 1 ms intervals
+	}
+
+	// 1. Open loop: the classic trace, leakage at the reference
+	// temperature, nominal frequency throughout.
+	open := runTrace(eng, ivs)
+	fmt.Println("=== open loop (reference temperature, nominal clock) ===")
+	for _, s := range open.Samples {
+		fmt.Printf("  interval %d: %6.2f W\n", s.Index, s.TotalW)
+	}
+
+	// 2. Closed loop, no governor: power heats the floorplan blocks and
+	// the hotspot inflates leakage, but nothing pushes back.
+	if err := eng.EnableLoop(mcpat.TraceLoopOptions{
+		Package:      pkg,
+		UseFloorplan: true,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	hot := runTrace(eng, ivs)
+	fmt.Println("\n=== closed loop, no governor (thermal feedback only) ===")
+	for _, s := range hot.Samples {
+		over := ""
+		if s.TemperatureK > pkg.MaxTjK {
+			over = "  << over Tj limit"
+		}
+		fmt.Printf("  interval %d: %6.2f W  hotspot %.1f K%s\n",
+			s.Index, s.TotalW, s.TemperatureK, over)
+	}
+	fmt.Printf("  max %.1f K against a %.0f K limit\n", hot.Summary.MaxTempK, pkg.MaxTjK)
+
+	// 3. Closed loop with the thermal-headroom governor: proportional
+	// frequency shedding toward a setpoint 5 K under the limit, supply
+	// voltage following a linear V-f rule.
+	gov, err := mcpat.NewGovernor("headroom", 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.EnableLoop(mcpat.TraceLoopOptions{
+		Package:      pkg,
+		UseFloorplan: true,
+		Governor:     gov,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	gv := runTrace(eng, ivs)
+	fmt.Println("\n=== closed loop + headroom governor ===")
+	for _, s := range gv.Samples {
+		mark := ""
+		if s.Throttled {
+			mark = fmt.Sprintf("  << throttled to %.2f GHz", s.FreqHz/1e9)
+		}
+		fmt.Printf("  interval %d: %6.2f W  hotspot %.1f K%s\n",
+			s.Index, s.TotalW, s.TemperatureK, mark)
+	}
+	fmt.Printf("  max %.1f K, %d/%d intervals throttled\n",
+		gv.Summary.MaxTempK, gv.Summary.ThrottledIntervals, len(gv.Samples))
+
+	// The loop ran against exactly one chip synthesis: every interval of
+	// all three traces was a pure Score pass.
+	fmt.Printf("\nsynthesis count: chip built once; %d intervals scored across 3 runs\n",
+		3*len(ivs))
+}

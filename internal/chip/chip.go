@@ -77,7 +77,12 @@ type Config struct {
 	NM          float64 // feature size in nanometers
 	Dev         tech.DeviceType
 	LongChannel bool
-	Temperature float64 // K; 0 keeps the node default (360 K)
+	// Temperature is the junction temperature reports are scored at (K);
+	// 0 keeps the node default (360 K). It is a Score-time input: it
+	// retunes leakage on the finished report and never participates in
+	// synthesis, so chips differing only in temperature share every
+	// synthesized part (see Processor.SetScoreTemperature).
+	Temperature float64
 	ClockHz     float64
 	Vdd         float64 // V; 0 keeps the roadmap voltage of the device class
 
@@ -184,6 +189,18 @@ type Processor struct {
 	// pairs a synthesized (possibly shared, memoized) component with the
 	// closure deriving its activity assignment from runtime Stats.
 	parts []part
+
+	// Score-time operating point. Synthesis is temperature-invariant
+	// (parts are solved at the node's reference temperature and the tech
+	// fingerprint excludes temperature), so the operating temperature and
+	// any DVFS derating are applied as cheap multiplicative retunes over
+	// the scored report instead of participating in synthesis. Mutating
+	// these between Score passes is how the thermal/DVFS feedback loop
+	// runs a whole transient trace against one synthesized chip.
+	scoreTempK float64 // junction temperature reports are scored at (K)
+	leakScale  float64 // subthreshold-leakage multiplier vs the reference temperature
+	freqFrac   float64 // score-time frequency as a fraction of Cfg.ClockHz
+	vddFrac    float64 // score-time supply as a fraction of the synthesis Vdd
 }
 
 // Process-wide synthesis-parallelism knobs. The worker setting is the
@@ -253,9 +270,10 @@ func NewWithWorkers(cfg Config, workers int) (p *Processor, err error) {
 	if err != nil {
 		return nil, guard.At(err, path)
 	}
-	if cfg.Temperature > 0 {
-		node.Temperature = cfg.Temperature
-	}
+	// Temperature deliberately does NOT touch the node: synthesis runs at
+	// the reference temperature so synthesized parts are shared across
+	// operating temperatures, and the configured temperature becomes the
+	// initial Score-time retune (see SetScoreTemperature).
 	if cfg.Vdd > 0 {
 		node.OverrideVdd(cfg.Dev, cfg.Vdd)
 	}
@@ -275,7 +293,13 @@ func NewWithWorkers(cfg Config, workers int) (p *Processor, err error) {
 	if workers <= 0 {
 		workers = SynthWorkers()
 	}
-	p = &Processor{Cfg: cfg, Tech: node}
+	p = &Processor{Cfg: cfg, Tech: node, freqFrac: 1, vddFrac: 1}
+	p.scoreTempK = node.Temperature
+	p.leakScale = 1
+	if cfg.Temperature > 0 {
+		p.scoreTempK = cfg.Temperature
+		p.leakScale = node.LeakScaleAt(cfg.Temperature)
+	}
 	b := &builder{p: p, node: node, path: path}
 	if err := assemble(b, workers); err != nil {
 		return nil, err

@@ -1,0 +1,85 @@
+package chip
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestFloorplanAreaMatchesReport pins the adapter's conservation law
+// across tile counts: the total placed area (tiles plus edge strip)
+// must equal the report's die area — which includes the top-level
+// overhead — to floating-point tolerance, for 1 through 64 tiles.
+func TestFloorplanAreaMatchesReport(t *testing.T) {
+	for _, cores := range []int{1, 2, 4, 8, 16, 64} {
+		p, err := New(manycoreCfg(cores, Mesh))
+		if err != nil {
+			t.Fatalf("%d cores: %v", cores, err)
+		}
+		plan, err := p.Floorplan()
+		if err != nil {
+			t.Fatalf("%d cores: %v", cores, err)
+		}
+		var placed float64
+		for _, it := range plan.Items {
+			placed += it.W * it.H
+		}
+		die := p.Report(nil).Area
+		if rel := math.Abs(placed-die) / die; rel > 1e-9 {
+			t.Errorf("%d cores: placed %.6e m^2 vs die %.6e m^2 (rel %.2e)",
+				cores, placed, die, rel)
+		}
+		// The grid may carry slack rows; the die outline is never smaller
+		// than the placed area.
+		if outline := plan.Width * plan.Height; outline < placed*(1-1e-9) {
+			t.Errorf("%d cores: outline %.6e smaller than placed %.6e", cores, outline, placed)
+		}
+	}
+}
+
+// TestFloorplanEdgeBlocksOnBoundary: every pad-bound subsystem the chip
+// instantiates must land with at least one face on the die boundary, for
+// 1 through 64 tiles.
+func TestFloorplanEdgeBlocksOnBoundary(t *testing.T) {
+	for _, cores := range []int{1, 2, 4, 8, 16, 64} {
+		p, err := New(manycoreCfg(cores, Mesh))
+		if err != nil {
+			t.Fatalf("%d cores: %v", cores, err)
+		}
+		plan, err := p.Floorplan()
+		if err != nil {
+			t.Fatalf("%d cores: %v", cores, err)
+		}
+		const eps = 1e-12
+		sawEdge := false
+		for _, it := range plan.Items {
+			if !it.OnEdge {
+				continue
+			}
+			sawEdge = true
+			onBoundary := it.X <= eps || it.Y <= eps ||
+				math.Abs(it.X+it.W-plan.Width) <= plan.Width*1e-9 ||
+				math.Abs(it.Y+it.H-plan.Height) <= plan.Height*1e-9
+			if !onBoundary {
+				t.Errorf("%d cores: pad-bound block %s at (%.2e,%.2e) not on the die boundary",
+					cores, it.Name, it.X, it.Y)
+			}
+			if !padBoundSubsystems[it.Name] {
+				t.Errorf("%d cores: unexpected edge block %s", cores, it.Name)
+			}
+		}
+		if !sawEdge {
+			t.Errorf("%d cores: the memory controller must be placed on the edge", cores)
+		}
+		// Tiles replicate once per core.
+		tiles := 0
+		for _, it := range plan.Items {
+			if strings.HasPrefix(it.Name, "tile[") {
+				tiles++
+			}
+		}
+		if tiles != cores {
+			t.Errorf("%d cores: %d tiles placed", cores, tiles)
+		}
+	}
+}

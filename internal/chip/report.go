@@ -91,8 +91,56 @@ func (p *Processor) buildReportIn(ar *power.Arena, stats *Stats) *power.Item {
 	}
 	item.Rollup()
 	item.Area *= topLevelOverhead
+	// Score-time operating point: leakage follows temperature (and, to
+	// first order, supply voltage); runtime dynamic follows the DVFS
+	// f·V² derate. At the nominal point both factors are exactly 1 and
+	// the report bits match an unretuned build, which is the
+	// default-temperature equivalence pin.
+	if ls, ds := p.leakScale*p.vddFrac, p.freqFrac*p.vddFrac*p.vddFrac; ls != 1 || ds != 1 {
+		item.Retune(ls, ds)
+	}
 	return item
 }
+
+// SetScoreTemperature moves the Score-time junction temperature: every
+// subsequent Report/ReportArena pass retunes subthreshold leakage to
+// tempK (a single multiplier — see tech.Node.LeakScaleAt) without any
+// re-synthesis. tempK <= 0 restores the node's reference temperature.
+// This is the per-interval entry point of the thermal feedback loop; it
+// is not safe to call concurrently with Report on the same Processor.
+func (p *Processor) SetScoreTemperature(tempK float64) {
+	if tempK <= 0 {
+		tempK = p.Tech.Temperature
+	}
+	p.scoreTempK = tempK
+	p.leakScale = p.Tech.LeakScaleAt(tempK)
+}
+
+// ScoreTemperature reports the junction temperature reports are
+// currently scored at.
+func (p *Processor) ScoreTemperature() float64 { return p.scoreTempK }
+
+// SetScoreDVFS moves the Score-time DVFS operating point as fractions of
+// the nominal clock and supply: runtime dynamic power scales by
+// freqFrac·vddFrac² (same per-cycle activity, fewer cycles per second,
+// quadratic supply sensitivity) and leakage scales linearly with
+// vddFrac, the first-order McPAT treatment. Fractions <= 0 reset to 1.
+// Like SetScoreTemperature this is a pure Score-phase retune — the DVFS
+// governor in the trace engine calls it every interval against one
+// synthesized chip.
+func (p *Processor) SetScoreDVFS(freqFrac, vddFrac float64) {
+	if freqFrac <= 0 {
+		freqFrac = 1
+	}
+	if vddFrac <= 0 {
+		vddFrac = 1
+	}
+	p.freqFrac, p.vddFrac = freqFrac, vddFrac
+}
+
+// ScoreDVFS reports the current score-time frequency and voltage
+// fractions.
+func (p *Processor) ScoreDVFS() (freqFrac, vddFrac float64) { return p.freqFrac, p.vddFrac }
 
 // TDP returns the chip thermal design power in watts (peak dynamic plus
 // leakage at the configured temperature).

@@ -155,6 +155,24 @@ func (it *Item) Scale(k float64) *Item {
 	return it
 }
 
+// Retune applies score-time operating-point factors across the subtree:
+// subthreshold leakage — and the power-gating savings derived from it —
+// scales by leakScale (the temperature/voltage leakage retune), and the
+// runtime dynamic column scales by dynScale (the DVFS frequency/voltage
+// derate). Gate leakage is only weakly temperature dependent and the
+// peak-dynamic TDP column describes the nominal operating point, so both
+// are left untouched. Retune is linear, so it is safe on rolled-up trees:
+// parent totals and child sums scale together. Returns the receiver.
+func (it *Item) Retune(leakScale, dynScale float64) *Item {
+	it.SubLeak *= leakScale
+	it.LeakSaved *= leakScale
+	it.RuntimeDynamic *= dynScale
+	for _, c := range it.Children {
+		c.Retune(leakScale, dynScale)
+	}
+	return it
+}
+
 // Clone returns a deep copy of the subtree.
 func (it *Item) Clone() *Item {
 	cp := *it

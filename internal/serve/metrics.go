@@ -46,9 +46,14 @@ type metrics struct {
 
 	// traceStreams counts /v1/trace streams that reached the streaming
 	// phase (setup succeeded); traceSamples counts interval records
-	// written across all of them.
-	traceStreams atomic.Uint64
-	traceSamples atomic.Uint64
+	// written across all of them. traceThermalStreams counts the subset
+	// of streams running the closed thermal/DVFS loop, and
+	// traceThrottled the samples the governor derated below nominal
+	// frequency.
+	traceStreams        atomic.Uint64
+	traceSamples        atomic.Uint64
+	traceThermalStreams atomic.Uint64
+	traceThrottled      atomic.Uint64
 
 	jobsSubmitted atomic.Uint64
 	jobsDone      atomic.Uint64
@@ -124,6 +129,11 @@ type JobMetricsJSON struct {
 type TraceMetricsJSON struct {
 	Streams uint64 `json:"streams"`
 	Samples uint64 `json:"samples"`
+	// ThermalStreams counts closed-loop (thermal/DVFS) streams;
+	// ThrottledSamples counts intervals the governor ran below nominal
+	// frequency.
+	ThermalStreams   uint64 `json:"thermal_streams"`
+	ThrottledSamples uint64 `json:"throttled_samples"`
 }
 
 // MetricsSnapshot is the GET /metrics body.
@@ -181,8 +191,10 @@ func (m *metrics) snapshot() MetricsSnapshot {
 			Recovered: m.jobsRecovered.Load(),
 		},
 		Trace: TraceMetricsJSON{
-			Streams: m.traceStreams.Load(),
-			Samples: m.traceSamples.Load(),
+			Streams:          m.traceStreams.Load(),
+			Samples:          m.traceSamples.Load(),
+			ThermalStreams:   m.traceThermalStreams.Load(),
+			ThrottledSamples: m.traceThrottled.Load(),
 		},
 		Cache:         newCacheStatsJSON(array.Stats().Delta(m.cacheBase)),
 		Subsys:        newSubsysCacheStatsJSON(component.Stats().Delta(m.subsysBase)),

@@ -12,6 +12,7 @@ import (
 	"mcpat/internal/guard"
 	"mcpat/internal/m5compat"
 	"mcpat/internal/presets"
+	"mcpat/internal/thermal"
 	"mcpat/internal/trace"
 )
 
@@ -35,6 +36,62 @@ type TraceRequest struct {
 	Config *chip.Config `json:"config,omitempty"`
 	// StatsTxt is the raw stats.txt content (multi-dump).
 	StatsTxt string `json:"stats_txt"`
+	// Thermal, when present, closes the power/thermal/DVFS loop around
+	// the trace: samples gain temperature_k/freq_hz/throttled fields and
+	// the summary gains max/final temperature and throttle counts.
+	Thermal *TraceThermalOptions `json:"thermal,omitempty"`
+}
+
+// TraceThermalOptions selects the closed-loop thermal/DVFS behavior of a
+// trace request.
+type TraceThermalOptions struct {
+	// RthetaJA is the junction-to-ambient thermal resistance (K/W);
+	// required.
+	RthetaJA float64 `json:"rtheta_ja"`
+	// AmbientK is the ambient temperature (0 = the thermal package
+	// default, 318 K).
+	AmbientK float64 `json:"ambient_k,omitempty"`
+	// MaxTjK is the junction limit; it also sets the default setpoint of
+	// the headroom governor.
+	MaxTjK float64 `json:"max_tj_k,omitempty"`
+	// TimeConstS is the thermal time constant for transient stepping
+	// (0 = quasi-static).
+	TimeConstS float64 `json:"time_const_s,omitempty"`
+	// UseFloorplan enables per-subsystem thermal blocks with
+	// floorplan-derived spreading resistances (default: whole-die lump).
+	UseFloorplan bool `json:"use_floorplan,omitempty"`
+	// InitialTempK seeds the die temperature (0 = ambient).
+	InitialTempK float64 `json:"initial_temp_k,omitempty"`
+	// Governor is the DVFS policy: "none" (default), "headroom", or
+	// "schedule".
+	Governor string `json:"governor,omitempty"`
+	// TargetK overrides the headroom governor's throttle setpoint.
+	TargetK float64 `json:"target_k,omitempty"`
+	// FreqSchedule is the per-interval frequency fractions for the
+	// "schedule" governor.
+	FreqSchedule []float64 `json:"freq_schedule,omitempty"`
+}
+
+// loopOptions translates the request options into trace.LoopOptions.
+func (o *TraceThermalOptions) loopOptions() (trace.LoopOptions, error) {
+	if o.RthetaJA <= 0 {
+		return trace.LoopOptions{}, guard.Configf("trace.thermal", "rtheta_ja must be positive")
+	}
+	gov, err := trace.NewGovernor(o.Governor, o.TargetK, o.FreqSchedule)
+	if err != nil {
+		return trace.LoopOptions{}, guard.Configf("trace.thermal", "%v", err)
+	}
+	return trace.LoopOptions{
+		Package: thermal.PackageSpec{
+			RthetaJA:   o.RthetaJA,
+			AmbientK:   o.AmbientK,
+			MaxTjK:     o.MaxTjK,
+			TimeConstS: o.TimeConstS,
+		},
+		UseFloorplan: o.UseFloorplan,
+		Governor:     gov,
+		InitialTempK: o.InitialTempK,
+	}, nil
 }
 
 // handleTrace serves POST /v1/trace: map + synthesize the chip once,
@@ -96,6 +153,9 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.metrics.traceStreams.Add(1)
+	if req.Thermal != nil {
+		s.metrics.traceThermalStreams.Add(1)
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
@@ -116,6 +176,9 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		}
 		flush()
 		s.metrics.traceSamples.Add(1)
+		if smp.Throttled {
+			s.metrics.traceThrottled.Add(1)
+		}
 		return nil
 	})
 	if err != nil {
@@ -141,9 +204,25 @@ func traceSetup(req *TraceRequest) (*trace.Engine, []trace.Interval, error) {
 	if strings.TrimSpace(req.StatsTxt) == "" {
 		return nil, nil, guard.Configf("trace.stats", "stats_txt is required")
 	}
+	// armLoop closes the thermal/DVFS loop over the built engine when the
+	// request asks for it (validated up front so option errors surface as
+	// config errors before any synthesis output streams).
+	armLoop := func(eng *trace.Engine) error {
+		if req.Thermal == nil {
+			return nil
+		}
+		opts, err := req.Thermal.loopOptions()
+		if err != nil {
+			return err
+		}
+		return eng.EnableLoop(opts)
+	}
 	if len(req.Gem5Config) > 0 {
 		eng, ivs, _, err := trace.FromGem5(bytes.NewReader(req.Gem5Config), strings.NewReader(req.StatsTxt))
-		return eng, ivs, err
+		if err != nil {
+			return nil, nil, err
+		}
+		return eng, ivs, armLoop(eng)
 	}
 	cfg := req.Config
 	if req.Preset != "" {
@@ -168,5 +247,5 @@ func traceSetup(req *TraceRequest) (*trace.Engine, []trace.Interval, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return eng, ivs, nil
+	return eng, ivs, armLoop(eng)
 }

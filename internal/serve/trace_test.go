@@ -245,3 +245,92 @@ func TestTraceMetrics(t *testing.T) {
 		t.Fatalf("trace metrics %+v", snap.Trace)
 	}
 }
+
+// TestTraceThermalOptions pins the closed-loop endpoint contract: a
+// request with thermal options streams samples carrying the hotspot
+// temperature and applied frequency, throttled intervals are flagged by
+// the scheduled governor, and the thermal stream/throttle counters show
+// up in the /metrics snapshot. A bad thermal spec is a 400 before the
+// stream starts.
+func TestTraceThermalOptions(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	cfgJSON, statsTxt := gem5Fixture(t)
+
+	resp := postTrace(t, ts.URL, TraceRequest{
+		Gem5Config: json.RawMessage(cfgJSON),
+		StatsTxt:   statsTxt,
+		Thermal: &TraceThermalOptions{
+			RthetaJA:     0.8,
+			AmbientK:     318,
+			UseFloorplan: true,
+			Governor:     "schedule",
+			FreqSchedule: []float64{1, 0.8, 1},
+		},
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var samples []trace.Sample
+	var summary *trace.Summary
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec trace.Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch rec.Type {
+		case "sample":
+			samples = append(samples, *rec.Sample)
+		case "summary":
+			summary = rec.Summary
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("%d samples", len(samples))
+	}
+	for i, smp := range samples {
+		if smp.TemperatureK <= 0 || smp.FreqHz <= 0 {
+			t.Fatalf("sample %d lacks thermal fields: %+v", i, smp)
+		}
+	}
+	if !samples[1].Throttled || samples[0].Throttled || samples[2].Throttled {
+		t.Fatalf("schedule should throttle exactly interval 1: %+v", samples)
+	}
+	if summary == nil || summary.ThrottledIntervals != 1 || summary.MaxTempK <= 0 {
+		t.Fatalf("summary lacks thermal aggregates: %+v", summary)
+	}
+
+	snap := s.metrics.snapshot()
+	if snap.Trace.ThermalStreams != 1 || snap.Trace.ThrottledSamples != 1 {
+		t.Fatalf("thermal metrics %+v", snap.Trace)
+	}
+
+	// Invalid thermal specs fail before the stream starts.
+	bad := []TraceThermalOptions{
+		{},                                    // missing Rtheta
+		{RthetaJA: 0.8, Governor: "ondemand"}, // unknown policy
+		{RthetaJA: 0.8, Governor: "schedule"}, // schedule without entries
+	}
+	for i, th := range bad {
+		opts := th
+		r := postTrace(t, ts.URL, TraceRequest{
+			Gem5Config: json.RawMessage(cfgJSON),
+			StatsTxt:   statsTxt,
+			Thermal:    &opts,
+		})
+		var body ErrorBody
+		err := json.NewDecoder(r.Body).Decode(&body)
+		r.Body.Close()
+		if err != nil {
+			t.Fatalf("bad case %d: %v", i, err)
+		}
+		if r.StatusCode != 400 || body.Error.Kind != "config" {
+			t.Fatalf("bad case %d: %d/%s (%s)", i, r.StatusCode, body.Error.Kind, body.Error.Message)
+		}
+	}
+}

@@ -2,21 +2,29 @@ package tech
 
 import "math"
 
-// Fingerprint returns a 64-bit hash over every model-relevant parameter
-// of the node: feature size, junction temperature, cell geometries, all
-// three device classes, and all wire classes under both projections. Two
-// nodes with equal fingerprints are interchangeable as far as the circuit
-// and array models are concerned, which is what makes the fingerprint a
-// sound cache-key component for memoized synthesis (see internal/array).
+// Fingerprint returns a 64-bit hash over every synthesis-relevant
+// parameter of the node: feature size, cell geometries, all three device
+// classes, and all wire classes under both projections. Two nodes with
+// equal fingerprints are interchangeable as far as the circuit and array
+// models are concerned, which is what makes the fingerprint a sound
+// cache-key component for memoized synthesis (see internal/array).
 //
-// The fingerprint deliberately excludes Name (presentation only) and is
-// recomputed from current field values on every call, so in-place
-// mutations (OverrideVdd, Temperature overrides, test poisoning) always
-// change the identity a subsequent synthesis sees.
+// The fingerprint deliberately excludes Name (presentation only) and —
+// since the Score-time temperature refactor — the reference Temperature:
+// operating temperature no longer participates in synthesis (leakage is
+// retuned per Score via LeakScaleAt), so synthesized parts are
+// temperature-invariant and a thermal feedback loop that sweeps
+// temperature every interval hits the same cache entries throughout.
+// Callers must not vary Node.Temperature between synthesis calls; the
+// chip layer never does (it threads operating temperature through the
+// Score phase instead).
+//
+// The hash is recomputed from current field values on every call, so
+// in-place mutations (OverrideVdd, test poisoning) always change the
+// identity a subsequent synthesis sees.
 func (n *Node) Fingerprint() uint64 {
 	h := uint64(fnvOffset)
 	h = hashF(h, n.Feature)
-	h = hashF(h, n.Temperature)
 	h = hashF(h, n.SRAMCellArea)
 	h = hashF(h, n.CAMCellArea)
 	h = hashF(h, n.DFFCellArea)

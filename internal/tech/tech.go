@@ -164,9 +164,14 @@ type Node struct {
 	Name    string  // e.g. "90nm"
 	Feature float64 // feature size F (m)
 
-	// Temperature is the junction temperature used for leakage (K).
-	// McPAT's default operating point is 360 K; validation runs may
-	// override it per processor.
+	// Temperature is the reference junction temperature (K) at which the
+	// synthesis-phase leakage numbers are solved; the table default is
+	// McPAT's 360 K operating point. Operating-temperature leakage is a
+	// Score-time concern: synthesized parts stay temperature-invariant
+	// and callers retune them with the multiplier from LeakScaleAt (see
+	// chip.Processor.SetScoreTemperature), which is what lets a thermal
+	// feedback loop change temperature every interval without busting a
+	// single synthesis cache.
 	Temperature float64
 
 	devices [numDeviceTypes]Device
@@ -247,6 +252,23 @@ func (n *Node) FO4(t DeviceType, longChannel bool) float64 {
 // LeakTempScale exposes the subthreshold temperature multiplier so that
 // higher layers can report temperature sensitivity.
 func LeakTempScale(tempK float64) float64 { return leakTempScale(tempK) }
+
+// LeakScaleAt is the cheap temperature view over an already-tuned node:
+// it returns the multiplier that converts the node's synthesized
+// subthreshold leakage (solved at the reference Temperature) into the
+// leakage at operating temperature tempK. Subthreshold leakage is the
+// only temperature-dependent quantity in the model and temperature
+// enters it as a pure exponential factor, so retuning a synthesized
+// part is one multiply per leakage column instead of a re-synthesis.
+// tempK <= 0 selects the reference temperature (scale 1). At
+// tempK == n.Temperature the scale is exactly 1.0, which keeps
+// default-temperature reports bit-identical to an unretuned Score.
+func (n *Node) LeakScaleAt(tempK float64) float64 {
+	if tempK <= 0 || tempK == n.Temperature {
+		return 1
+	}
+	return math.Exp((tempK - n.Temperature) / subthresholdSlopeK)
+}
 
 // Nodes returns the list of natively supported feature sizes in nm,
 // ascending.

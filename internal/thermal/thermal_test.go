@@ -1,6 +1,7 @@
 package thermal
 
 import (
+	"math"
 	"testing"
 
 	"mcpat/internal/validation"
@@ -76,5 +77,167 @@ func TestAmbientDefault(t *testing.T) {
 	}
 	if res.TjK <= 318 {
 		t.Error("default ambient of 318 K must apply")
+	}
+}
+
+// TestConvergenceTrajectory is the regression for the fixed-point
+// driver's promoted knobs: the residual trajectory must shrink
+// monotonically (within the damping's one-step slack) on a well-posed
+// package, and a starved iteration budget must report non-convergence
+// instead of pretending.
+func TestConvergenceTrajectory(t *testing.T) {
+	cfg := validation.Niagara().Chip
+
+	res, err := Solve(cfg, PackageSpec{RthetaJA: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("well-posed package must converge: %+v", res)
+	}
+	if len(res.Residuals) != res.Iterations {
+		t.Fatalf("one residual per iteration: %d residuals, %d iterations",
+			len(res.Residuals), res.Iterations)
+	}
+	for i := 1; i < len(res.Residuals); i++ {
+		if res.Residuals[i] >= res.Residuals[i-1] {
+			t.Errorf("residual must shrink every iteration: r[%d]=%.4f >= r[%d]=%.4f",
+				i, res.Residuals[i], i-1, res.Residuals[i-1])
+		}
+	}
+	if last := res.Residuals[len(res.Residuals)-1]; last >= DefaultConvergenceTolK {
+		t.Errorf("final residual %.4f should be under the default tolerance %.2f",
+			last, DefaultConvergenceTolK)
+	}
+
+	// Starve the iteration budget: same package, two iterations.
+	starved, err := Solve(cfg, PackageSpec{RthetaJA: 0.3, MaxIterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if starved.Converged {
+		t.Error("a 2-iteration budget must report non-convergence")
+	}
+	if starved.Iterations != 2 {
+		t.Errorf("starved solve ran %d iterations, want 2", starved.Iterations)
+	}
+	if len(starved.Residuals) != 2 {
+		t.Errorf("non-converged solve must still report its residual trajectory, got %d", len(starved.Residuals))
+	}
+}
+
+// TestPackageSpecOptions pins that the promoted knobs actually steer the
+// solver: a tighter tolerance takes at least as many iterations, and the
+// initial-guess offset changes the first residual.
+func TestPackageSpecOptions(t *testing.T) {
+	cfg := validation.Niagara().Chip
+
+	loose, err := Solve(cfg, PackageSpec{RthetaJA: 0.3, ConvergenceTolK: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Solve(cfg, PackageSpec{RthetaJA: 0.3, ConvergenceTolK: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loose.Converged || !tight.Converged {
+		t.Fatal("both tolerances should converge")
+	}
+	if tight.Iterations < loose.Iterations {
+		t.Errorf("tighter tolerance cannot take fewer iterations: %d vs %d",
+			tight.Iterations, loose.Iterations)
+	}
+
+	near, err := Solve(cfg, PackageSpec{RthetaJA: 0.3, InitialGuessOffsetK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := Solve(cfg, PackageSpec{RthetaJA: 0.3, InitialGuessOffsetK: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if near.Residuals[0] == far.Residuals[0] {
+		t.Error("the initial-guess offset must move the first residual")
+	}
+	// Wherever the iteration starts, it must land on the same fixed point.
+	if d := near.TjK - far.TjK; d < -0.5 || d > 0.5 {
+		t.Errorf("fixed point depends on the initial guess: %.2f vs %.2f K", near.TjK, far.TjK)
+	}
+}
+
+// TestModelQuasiStaticMatchesSteadyState: with a zero time constant each
+// Step jumps straight to Tamb + P*Rtheta.
+func TestModelQuasiStaticMatchesSteadyState(t *testing.T) {
+	pkg := PackageSpec{RthetaJA: 0.5, AmbientK: 300}
+	m, err := NewDieModel(pkg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := m.Step([]float64{40}, 1e-3)
+	if want := 300 + 40*0.5; hot != want {
+		t.Errorf("quasi-static step = %.3f K, want %.3f", hot, want)
+	}
+	// Power off: straight back to ambient.
+	if hot := m.Step([]float64{0}, 1e-3); hot != 300 {
+		t.Errorf("zero power must return to ambient, got %.3f", hot)
+	}
+}
+
+// TestModelTransientRelaxation: with a time constant the temperature
+// relaxes exponentially — monotonically toward the steady state, about
+// 63% of the way after one time constant, and never past it.
+func TestModelTransientRelaxation(t *testing.T) {
+	pkg := PackageSpec{RthetaJA: 0.5, AmbientK: 300, TimeConstS: 1e-3}
+	m, err := NewDieModel(pkg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ss = 300 + 40*0.5 // 320 K
+	prev := 300.0
+	for i := 0; i < 50; i++ {
+		hot := m.Step([]float64{40}, 1e-4)
+		if hot <= prev {
+			t.Fatalf("step %d: temperature must rise monotonically toward %v (got %.4f after %.4f)", i, ss, hot, prev)
+		}
+		if hot > ss {
+			t.Fatalf("step %d: temperature overshot steady state: %.4f > %v", i, hot, ss)
+		}
+		prev = hot
+	}
+	// One full time constant from cold: 1 - 1/e of the way.
+	m2, _ := NewDieModel(pkg, 0)
+	hot := m2.Step([]float64{40}, 1e-3)
+	want := 300 + 20*(1-math.Exp(-1))
+	if d := hot - want; d < -1e-9 || d > 1e-9 {
+		t.Errorf("one-tau step = %.6f K, want %.6f", hot, want)
+	}
+}
+
+// TestSpreadRtheta pins the spreading rule's envelope: large blocks
+// approach the whole-die resistance, small blocks are bounded by the
+// lateral spreading cone instead of diverging, and degenerate areas fall
+// back to the package resistance.
+func TestSpreadRtheta(t *testing.T) {
+	const rja, die = 0.5, 4e-4 // 400 mm^2 die
+	if got := SpreadRtheta(rja, die, die); got != rja {
+		t.Errorf("a block covering the die must see RthetaJA, got %g", got)
+	}
+	if got := SpreadRtheta(rja, die, 0); got != rja {
+		t.Errorf("zero area must fall back to RthetaJA, got %g", got)
+	}
+	half := SpreadRtheta(rja, die, die/2)
+	if half <= rja || half > rja*2 {
+		t.Errorf("half-die block: want Rtheta in (%g, %g], got %g", rja, 2*rja, half)
+	}
+	// A micro block must not diverge: the spreading cone floors its
+	// effective footprint at ~(2*SpreadThicknessM)^2.
+	tiny := SpreadRtheta(rja, die, 1e-12)
+	capR := rja * die / (4 * SpreadThicknessM * SpreadThicknessM)
+	if tiny > capR*1.01 {
+		t.Errorf("tiny block Rtheta %g exceeds the spreading cap %g", tiny, capR)
+	}
+	// Monotone: smaller blocks never see less resistance.
+	if SpreadRtheta(rja, die, die/10) < SpreadRtheta(rja, die, die/2) {
+		t.Error("smaller blocks must see at least as much resistance")
 	}
 }

@@ -40,16 +40,24 @@ type SubsystemPower struct {
 	TotalW   float64 `json:"total_w"`
 }
 
-// Sample is the scored power of one interval.
+// Sample is the scored power of one interval. The thermal/DVFS fields
+// are populated only when the closed loop is enabled (see EnableLoop):
+// TemperatureK is the hotspot junction temperature at the end of the
+// interval (the temperature the next interval's leakage is scored at),
+// FreqHz the clock the interval ran at, and Throttled whether the
+// governor derated it below nominal.
 type Sample struct {
-	Index      int              `json:"index"`
-	StartS     float64          `json:"start_s"`    // simulated start time
-	DurationS  float64          `json:"duration_s"` // simulated window length
-	DynamicW   float64          `json:"dynamic_w"`
-	LeakageW   float64          `json:"leakage_w"` // net of power gating
-	TotalW     float64          `json:"total_w"`
-	EnergyJ    float64          `json:"energy_j"` // TotalW x DurationS
-	Subsystems []SubsystemPower `json:"subsystems,omitempty"`
+	Index        int              `json:"index"`
+	StartS       float64          `json:"start_s"`    // simulated start time
+	DurationS    float64          `json:"duration_s"` // simulated window length
+	DynamicW     float64          `json:"dynamic_w"`
+	LeakageW     float64          `json:"leakage_w"` // net of power gating
+	TotalW       float64          `json:"total_w"`
+	EnergyJ      float64          `json:"energy_j"` // TotalW x DurationS
+	TemperatureK float64          `json:"temperature_k,omitempty"`
+	FreqHz       float64          `json:"freq_hz,omitempty"`
+	Throttled    bool             `json:"throttled,omitempty"`
+	Subsystems   []SubsystemPower `json:"subsystems,omitempty"`
 }
 
 // Header describes the chip a trace was scored against.
@@ -63,7 +71,8 @@ type Header struct {
 	Intervals int     `json:"intervals,omitempty"` // 0 when unknown up front (streaming)
 }
 
-// Summary aggregates a finished trace.
+// Summary aggregates a finished trace. The thermal/DVFS fields are
+// populated only for closed-loop runs.
 type Summary struct {
 	Intervals  int     `json:"intervals"`
 	SimSeconds float64 `json:"sim_seconds"`
@@ -72,6 +81,10 @@ type Summary struct {
 	PeakW      float64 `json:"peak_w"`
 	PeakIndex  int     `json:"peak_index"`
 	MinW       float64 `json:"min_w"`
+
+	MaxTempK           float64 `json:"max_temp_k,omitempty"`
+	FinalTempK         float64 `json:"final_temp_k,omitempty"`
+	ThrottledIntervals int     `json:"throttled_intervals,omitempty"`
 }
 
 // Trace is a fully materialized power trace.
@@ -99,6 +112,10 @@ type Engine struct {
 	arena   power.Arena
 	tdpW    float64
 	areaMM2 float64
+
+	// loop, when non-nil, closes the power/thermal/DVFS feedback around
+	// Run (see EnableLoop in loop.go).
+	loop *loopState
 }
 
 // NewEngine synthesizes the chip once and pre-computes the TDP columns.
@@ -183,9 +200,18 @@ func (e *Engine) Run(ctx context.Context, intervals []Interval, onSample func(Sa
 		if err := ctx.Err(); err != nil {
 			return nil, guard.At(err, fmt.Sprintf("trace.interval[%d]", i))
 		}
+		ff := 1.0
+		if e.loop != nil {
+			iv, ff = e.loopBegin(i, iv)
+		}
 		s, err := e.Score(i, start, iv)
 		if err != nil {
 			return nil, err
+		}
+		if e.loop != nil {
+			if err := e.loopEnd(&s, ff); err != nil {
+				return nil, err
+			}
 		}
 		tr.Samples = append(tr.Samples, s)
 		start += iv.Duration
@@ -215,6 +241,13 @@ func summarize(samples []Sample) Summary {
 		}
 		if s.TotalW < sum.MinW {
 			sum.MinW = s.TotalW
+		}
+		if s.TemperatureK > sum.MaxTempK {
+			sum.MaxTempK = s.TemperatureK
+		}
+		sum.FinalTempK = s.TemperatureK
+		if s.Throttled {
+			sum.ThrottledIntervals++
 		}
 	}
 	if sum.SimSeconds > 0 {

@@ -35,10 +35,17 @@ func (t *Trace) WriteNDJSON(w io.Writer) error {
 }
 
 // WriteCSV writes the trace as a spreadsheet-friendly table: one row per
-// interval, fixed power/energy columns, then one total-watts column per
-// top-level subsystem (taken from the first sample's breakdown).
+// interval, fixed power/energy columns, then — only for closed-loop
+// traces — the thermal/DVFS columns (temperature_k, freq_hz, throttled),
+// then one total-watts column per top-level subsystem (taken from the
+// first sample's breakdown). Open-loop traces keep the original column
+// set exactly, so existing consumers see no change.
 func (t *Trace) WriteCSV(w io.Writer) error {
 	cols := []string{"index", "start_s", "duration_s", "dynamic_w", "leakage_w", "total_w", "energy_j"}
+	thermal := t.hasThermal()
+	if thermal {
+		cols = append(cols, "temperature_k", "freq_hz", "throttled")
+	}
 	var subs []string
 	if len(t.Samples) > 0 {
 		for _, sp := range t.Samples[0].Subsystems {
@@ -52,6 +59,13 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 	for _, s := range t.Samples {
 		row := fmt.Sprintf("%d,%g,%g,%g,%g,%g,%g",
 			s.Index, s.StartS, s.DurationS, s.DynamicW, s.LeakageW, s.TotalW, s.EnergyJ)
+		if thermal {
+			throttled := 0
+			if s.Throttled {
+				throttled = 1
+			}
+			row += fmt.Sprintf(",%g,%g,%d", s.TemperatureK, s.FreqHz, throttled)
+		}
 		byName := make(map[string]float64, len(s.Subsystems))
 		for _, sp := range s.Subsystems {
 			byName[sp.Name] = sp.TotalW
@@ -64,6 +78,12 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// hasThermal reports whether the trace was produced by a closed-loop run
+// (every closed-loop sample carries a positive hotspot temperature).
+func (t *Trace) hasThermal() bool {
+	return len(t.Samples) > 0 && t.Samples[0].TemperatureK > 0
 }
 
 // csvName lowercases a subsystem name into a column-safe slug.

@@ -378,7 +378,28 @@ type (
 	PowerTrace = trace.Trace
 	// TraceRecord is one NDJSON frame of a streamed trace.
 	TraceRecord = trace.Record
+	// TraceLoopOptions configures the closed power/thermal/DVFS feedback
+	// loop of a trace run (see TraceEngine.EnableLoop).
+	TraceLoopOptions = trace.LoopOptions
+	// Governor picks the DVFS operating point of each trace interval.
+	Governor = trace.Governor
+	// GovernorInput is the state a governor decides from.
+	GovernorInput = trace.GovernorInput
+	// GovernorDecision is a governor's per-interval operating point.
+	GovernorDecision = trace.GovernorDecision
+	// ThermalHeadroomGovernor throttles proportionally to the thermal
+	// headroom deficit.
+	ThermalHeadroomGovernor = trace.ThermalHeadroom
+	// ScheduleGovernor plays back a fixed per-interval DVFS schedule.
+	ScheduleGovernor = trace.Schedule
 )
+
+// NewGovernor resolves a DVFS governor by policy name ("none",
+// "headroom", or "schedule") — the mapping behind the mcpat-trace
+// -governor flag and the service's thermal trace options.
+func NewGovernor(name string, targetK float64, freqSchedule []float64) (Governor, error) {
+	return trace.NewGovernor(name, targetK, freqSchedule)
+}
 
 // NewTraceEngine synthesizes cfg once and returns an engine whose Run
 // method scores statistics intervals into a PowerTrace. Per-interval
@@ -508,16 +529,32 @@ func NewDSEReport(res *DSEResult, obj DSEObjective) *DSEReport {
 
 // Thermal co-analysis: solve the power-temperature fixed point.
 type (
-	// PackageSpec describes the cooling solution (ambient, Rtheta).
+	// PackageSpec describes the cooling solution (ambient, Rtheta,
+	// iteration knobs, transient time constant).
 	PackageSpec = thermal.PackageSpec
 	// ThermalResult is a converged power/temperature operating point.
 	ThermalResult = thermal.Result
+	// ThermalBlock is one lumped node of the transient thermal network.
+	ThermalBlock = thermal.Block
+	// ThermalModel is the per-block lumped RC network the closed-loop
+	// trace engine steps once per interval.
+	ThermalModel = thermal.Model
 )
 
-// SolveThermal iterates chip synthesis against the lumped package model
-// until junction temperature and leakage are self-consistent.
+// SolveThermal finds the self-consistent junction temperature of the
+// chip's TDP operating point. The chip is synthesized exactly once;
+// every iteration is a Score-time leakage retune over the same
+// synthesized parts.
 func SolveThermal(cfg Config, pkg PackageSpec) (*ThermalResult, error) {
 	return thermal.Solve(cfg, pkg)
+}
+
+// SolveThermalOn runs the power-temperature fixed point over an
+// already-synthesized processor; non-nil stats balances runtime power
+// instead of TDP (the steady state a closed-loop trace converges to on
+// a constant workload).
+func SolveThermalOn(p *Processor, stats *Stats, pkg PackageSpec) (*ThermalResult, error) {
+	return thermal.SolveProcessor(p, stats, pkg)
 }
 
 // Off-chip DRAM device power (IDD methodology).

@@ -114,3 +114,32 @@ func BenchmarkTraceRun(b *testing.B) {
 	}
 	b.ReportMetric(float64(b.N*len(ivs))/b.Elapsed().Seconds(), "intervals/s")
 }
+
+// BenchmarkTraceThermalLoop is the closed-loop hot path: the same
+// arena-backed Score per interval, plus the governor decision, the
+// Score-time temperature/DVFS retune, and one transient thermal-model
+// step over the floorplan-derived blocks. The acceptance bound for the
+// thermal/DVFS refactor is allocs/op within +2 of BenchmarkTraceScore
+// (BENCH_dse.json, thermal_loop section).
+func BenchmarkTraceThermalLoop(b *testing.B) {
+	eng, ivs, _ := traceBenchFixture(b)
+	if err := eng.EnableLoop(mcpat.TraceLoopOptions{
+		Package:      mcpat.PackageSpec{RthetaJA: 0.8, MaxTjK: 360, TimeConstS: 5e-4},
+		UseFloorplan: true,
+		Governor:     mcpat.ThermalHeadroomGovernor{},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i += len(ivs) {
+		tr, err := eng.Run(ctx, ivs, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n += len(tr.Samples)
+	}
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "intervals/s")
+}
