@@ -60,6 +60,7 @@ func main() {
 		par       = flag.Int("par", 0, "parallel subsystem builds inside each cold evaluation (0 = process default, 1 = serial)")
 		timeout   = flag.Duration("timeout", 0, "per-candidate evaluation deadline (0 = none)")
 		keepGoing = flag.Bool("keep-going", true, "continue the sweep past failed candidates")
+		remote    = flag.String("remote", "", "comma-separated mcpatd -worker base URLs: shard the exhaustive sweep across them (plus this process) with work-stealing; results are bit-identical to a local sweep")
 		stats     = flag.Bool("stats", false, "print synthesis-cache statistics (array and subsystem reuse) for the sweep")
 		noCache   = flag.Bool("no-cache", false, "disable the synthesis result caches (array and subsystem)")
 		asJSON    = flag.Bool("json", false, "emit the sweep as JSON (candidates, failures, cache stats) - the same schema the mcpatd service returns")
@@ -92,28 +93,46 @@ func main() {
 		mcpat.SetSubsysSynthCache(false)
 	}
 
+	remotes := splitCSV(*remote)
+	if len(remotes) > 0 && searchKind != mcpat.SearchExhaustive {
+		cliutil.Usagef("mcpat-dse", "-remote shards exhaustive sweeps only (the pareto search is sequential by nature)")
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	res, err := mcpat.ExploreDesignSpaceContext(ctx,
-		mcpat.DSEParams{NM: *nm, ClockHz: *clockGHz * 1e9, Threads: *threads},
-		mcpat.DSESpace{
-			Cores:        ints(*cores),
-			L2PerCoreKB:  ints(*l2kb),
-			ClusterSizes: ints(*clusters),
-		},
-		mcpat.DSEConstraints{MaxAreaMM2: *maxArea, MaxTDP: *maxTDP},
-		obj,
-		&mcpat.DSEOptions{
-			Workers:          *workers,
-			SynthWorkers:     *par,
-			CandidateTimeout: *timeout,
-			FailFast:         !*keepGoing,
-			Search:           searchKind,
-			Budget:           *budget,
-			Seed:             *seed,
-		},
-	)
+	p := mcpat.DSEParams{NM: *nm, ClockHz: *clockGHz * 1e9, Threads: *threads}
+	space := mcpat.DSESpace{
+		Cores:        ints(*cores),
+		L2PerCoreKB:  ints(*l2kb),
+		ClusterSizes: ints(*clusters),
+	}
+	cons := mcpat.DSEConstraints{MaxAreaMM2: *maxArea, MaxTDP: *maxTDP}
+
+	var res *mcpat.DSEResult
+	var coord *mcpat.DistribMetrics
+	if len(remotes) > 0 {
+		coord = &mcpat.DistribMetrics{}
+		res, err = mcpat.ExploreDesignSpaceDistributed(ctx, p, space, cons, obj,
+			&mcpat.DistribOptions{
+				Remotes:          remotes,
+				ShardWorkers:     *workers,
+				SynthWorkers:     *par,
+				CandidateTimeout: *timeout,
+				Metrics:          coord,
+			})
+	} else {
+		res, err = mcpat.ExploreDesignSpaceContext(ctx, p, space, cons, obj,
+			&mcpat.DSEOptions{
+				Workers:          *workers,
+				SynthWorkers:     *par,
+				CandidateTimeout: *timeout,
+				FailFast:         !*keepGoing,
+				Search:           searchKind,
+				Budget:           *budget,
+				Seed:             *seed,
+			})
+	}
 	interrupted := errors.Is(err, context.Canceled)
 	if err != nil && !interrupted {
 		fmt.Fprintln(os.Stderr, "mcpat-dse:", cliutil.FirstLine(err.Error()))
@@ -126,9 +145,14 @@ func main() {
 	}
 
 	if *asJSON {
+		rep := mcpat.NewDSEReport(res, obj)
+		if coord != nil {
+			st := coord.Snapshot()
+			rep.Distrib = &st
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if encErr := enc.Encode(mcpat.NewDSEReport(res, obj)); encErr != nil {
+		if encErr := enc.Encode(rep); encErr != nil {
 			fmt.Fprintln(os.Stderr, "mcpat-dse:", encErr)
 			os.Exit(cliutil.ExitInternal)
 		}
@@ -208,6 +232,15 @@ func main() {
 			fmt.Println("Disk cache: disabled (set -cache-dir to persist synthesis results)")
 		}
 	}
+	if *stats && coord != nil {
+		st := coord.Snapshot()
+		fmt.Printf("\nDistributed sweep: %d shard(s) dispatched (%d stolen, %d retried)\n",
+			st.ShardsDispatched, st.ShardsStolen, st.ShardsRetried)
+		for _, w := range st.Workers {
+			fmt.Printf("  %-28s %d shard(s), %d candidate(s), %.1f cand/s\n",
+				w.Name, w.Shards, w.Candidates, w.Throughput)
+		}
+	}
 	exit(interrupted, err)
 }
 
@@ -233,6 +266,17 @@ func ints(csv string) []int {
 			cliutil.Usagef("mcpat-dse", "bad integer %q", part)
 		}
 		out = append(out, v)
+	}
+	return out
+}
+
+// splitCSV splits a comma-separated flag into its non-empty parts.
+func splitCSV(csv string) []string {
+	var out []string
+	for _, part := range strings.Split(csv, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
 	}
 	return out
 }

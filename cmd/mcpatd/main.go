@@ -10,6 +10,8 @@
 //	POST   /v1/batch      evaluate many configs in one request, sharing
 //	                      one warm cache generation
 //	POST   /v1/dse        submit an async design-space sweep; 202 + job id
+//	POST   /v1/dse/shard  (with -worker) evaluate one sweep shard for a
+//	                      coordinator, streaming progress as NDJSON
 //	GET    /v1/jobs       job summaries
 //	GET    /v1/jobs/{id}  job status / progress / result
 //	DELETE /v1/jobs/{id}  cancel a queued or running job
@@ -30,10 +32,19 @@
 // synthesis caches gain a crash-safe disk tier shared with the CLIs, so
 // a restarted daemon warm-starts instead of re-synthesizing.
 //
+// Distributed sweeps: -worker turns the daemon into a shard evaluator
+// for a coordinator (mcpat-dse -remote, or another mcpatd started with
+// -remote host1,host2 that fans its /v1/dse jobs out). Workers sharing
+// a -cache-dir on one host also share the persistent synthesis tier.
+// -pprof-addr exposes net/http/pprof on a separate (keep it local)
+// listener for profiling coordinator and worker hot paths in situ.
+//
 // Example:
 //
 //	mcpatd -addr :8490
 //	curl -s localhost:8490/v1/evaluate -d '{"preset":"niagara"}'
+//	mcpatd -addr :8491 -worker             # shard evaluator
+//	mcpat-dse -remote localhost:8491 ...   # coordinator
 package main
 
 import (
@@ -44,8 +55,10 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers debug handlers on the default mux, exposed only via -pprof-addr
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -64,6 +77,9 @@ func main() {
 		jobRetention = flag.Int("job-retention", 64, "finished jobs kept for polling")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
 		journalPath  = flag.String("journal", "", "job journal file: queued/running DSE jobs survive restarts (empty = not durable)")
+		worker       = flag.Bool("worker", false, "enable POST /v1/dse/shard so a coordinator (mcpat-dse -remote or another mcpatd -remote) can dispatch sweep shards here")
+		remote       = flag.String("remote", "", "comma-separated mcpatd -worker base URLs: coordinate exhaustive DSE jobs across them (plus this process)")
+		pprofAddr    = flag.String("pprof-addr", "", "listen address for net/http/pprof (empty = disabled); keep it on localhost")
 		quiet        = flag.Bool("quiet", false, "suppress per-request logging")
 	)
 	cacheDir, cacheSize := cliutil.CacheFlags(flag.CommandLine)
@@ -87,8 +103,22 @@ func main() {
 		JobQueueDepth:  *jobQueue,
 		JobRetention:   *jobRetention,
 		JournalPath:    *journalPath,
+		WorkerMode:     *worker,
+		RemoteWorkers:  splitCSV(*remote),
 		Logf:           logf,
 	})
+
+	// The profiling listener is separate from the service listener and
+	// uses the net/http/pprof handlers on the default mux (the service
+	// itself serves from its own mux, so nothing else leaks here).
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("mcpatd: pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("mcpatd: pprof listener failed: %v", err)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -127,4 +157,15 @@ func main() {
 		os.Exit(1)
 	}
 	log.Printf("mcpatd: clean shutdown")
+}
+
+// splitCSV splits a comma-separated flag into its non-empty parts.
+func splitCSV(csv string) []string {
+	var out []string
+	for _, part := range strings.Split(csv, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }

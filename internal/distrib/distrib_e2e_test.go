@@ -1,0 +1,248 @@
+// End-to-end coordinator/worker tests: real serve.Server workers behind
+// httptest listeners, exercised over the actual NDJSON shard protocol.
+// The external test package lets these import serve without a cycle
+// (serve imports distrib for the wire types).
+package distrib_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mcpat/internal/chip"
+	"mcpat/internal/distrib"
+	"mcpat/internal/explore"
+	"mcpat/internal/serve"
+)
+
+func e2eSpace() (explore.Space, explore.Constraints) {
+	return explore.Space{
+		Cores:        []int{2, 4, 8, 16, 32, 64, 128},
+		L2PerCoreKB:  []int{32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384},
+		Fabrics:      []chip.InterconnectKind{chip.Ring, chip.Crossbar},
+		ClusterSizes: []int{1},
+	}, explore.Constraints{MaxAreaMM2: 400, MaxTDP: 300}
+}
+
+// newWorker starts a worker-mode server on an httptest listener and
+// returns its base URL.
+func newWorker(t *testing.T) string {
+	t.Helper()
+	srv := serve.New(serve.Config{WorkerMode: true})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		_ = srv.Shutdown(context.Background())
+	})
+	return ts.URL
+}
+
+func serialResult(t *testing.T, obj explore.Objective) *explore.Result {
+	t.Helper()
+	space, cons := e2eSpace()
+	res, err := explore.SearchContext(context.Background(), explore.Params{}, space, cons, obj, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func assertSameSweep(t *testing.T, serial, dist *explore.Result) {
+	t.Helper()
+	if (dist.Best == nil) != (serial.Best == nil) {
+		t.Fatalf("best presence differs")
+	}
+	if dist.Best != nil && *dist.Best != *serial.Best {
+		t.Fatalf("best differs:\ndistributed %+v\nserial %+v", *dist.Best, *serial.Best)
+	}
+	if !reflect.DeepEqual(dist.Front, serial.Front) {
+		t.Fatalf("front differs:\ndistributed %+v\nserial %+v", dist.Front, serial.Front)
+	}
+	if !reflect.DeepEqual(dist.Candidates, serial.Candidates) {
+		t.Fatalf("candidate ranking differs (%d vs %d entries)",
+			len(dist.Candidates), len(serial.Candidates))
+	}
+	if dist.Evaluated != serial.Evaluated || dist.Feasible != serial.Feasible {
+		t.Fatalf("counts differ: distributed eval=%d feas=%d, serial eval=%d feas=%d",
+			dist.Evaluated, dist.Feasible, serial.Evaluated, serial.Feasible)
+	}
+}
+
+// TestDistributedSweepBitIdentical is the tentpole acceptance test: a
+// sweep sharded across two real HTTP workers (plus the local engine)
+// returns bit-identical winners, ranking, and front to the serial
+// engine, with monotonic progress that converges to the space size.
+func TestDistributedSweepBitIdentical(t *testing.T) {
+	serial := serialResult(t, explore.MaxThroughput)
+	space, cons := e2eSpace()
+
+	m := &distrib.Metrics{}
+	var lastDone atomic.Int64
+	var regressed atomic.Bool
+	dist, err := distrib.Run(context.Background(), explore.Params{}, space, cons,
+		explore.MaxThroughput, &distrib.Options{
+			Remotes: []string{newWorker(t), newWorker(t)},
+			Metrics: m,
+			OnProgress: func(done, total int) {
+				if int64(done) <= lastDone.Load() {
+					regressed.Store(true)
+				}
+				lastDone.Store(int64(done))
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSweep(t, serial, dist)
+	if regressed.Load() {
+		t.Error("cross-shard progress regressed")
+	}
+	if got := lastDone.Load(); got != int64(serial.SpaceSize) {
+		t.Errorf("final progress %d, want %d", got, serial.SpaceSize)
+	}
+	st := m.Snapshot()
+	if st.ShardsDispatched == 0 {
+		t.Error("no shards dispatched")
+	}
+	if len(st.Workers) == 0 {
+		t.Error("no per-worker stats recorded")
+	}
+}
+
+// TestWorkerDeathNeverLosesCandidates kills a worker's connections
+// mid-sweep: its range is requeued (shards_retried >= 1) and the sweep
+// still completes with results bit-identical to the serial engine.
+func TestWorkerDeathNeverLosesCandidates(t *testing.T) {
+	serial := serialResult(t, explore.MaxThroughput)
+	space, cons := e2eSpace()
+
+	good := newWorker(t)
+	// The flaky worker drops the TCP connection on its first two shard
+	// requests — from the coordinator's side this is exactly a worker
+	// process dying mid-shard — then recovers (proxying to a healthy
+	// worker), like a restarted host rejoining the pool.
+	healthy, _ := url.Parse(newWorker(t))
+	proxy := httputil.NewSingleHostReverseProxy(healthy)
+	proxy.FlushInterval = -1
+	var hits atomic.Int64
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			if hj, ok := w.(http.Hijacker); ok {
+				if conn, _, err := hj.Hijack(); err == nil {
+					conn.Close()
+					return
+				}
+			}
+			http.Error(w, "dying", http.StatusInternalServerError)
+			return
+		}
+		proxy.ServeHTTP(w, r)
+	}))
+	t.Cleanup(flaky.Close)
+
+	m := &distrib.Metrics{}
+	dist, err := distrib.Run(context.Background(), explore.Params{}, space, cons,
+		explore.MaxThroughput, &distrib.Options{
+			Remotes: []string{good, flaky.URL},
+			Metrics: m,
+			// Keep the failure backoff short so the test stays fast.
+			Backoff:    5 * time.Millisecond,
+			MaxBackoff: 50 * time.Millisecond,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSweep(t, serial, dist)
+	st := m.Snapshot()
+	if st.ShardsRetried < 1 {
+		t.Errorf("shards_retried = %d, want >= 1", st.ShardsRetried)
+	}
+}
+
+// TestDeadWorkerIsEjectedAfterRepeatedFailures pins the kill -9 story:
+// a worker that dies and NEVER comes back (every dispatch to it is
+// connection-refused) must not exhaust any range's retry budget — after
+// MaxRetries consecutive failures it is retired from the pool and the
+// surviving workers finish the sweep bit-identical to the serial engine.
+func TestDeadWorkerIsEjectedAfterRepeatedFailures(t *testing.T) {
+	serial := serialResult(t, explore.MaxThroughput)
+	space, cons := e2eSpace()
+
+	// A listener that is already closed: dials fail instantly, forever.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	m := &distrib.Metrics{}
+	dist, err := distrib.Run(context.Background(), explore.Params{}, space, cons,
+		explore.MaxThroughput, &distrib.Options{
+			Remotes:    []string{newWorker(t), deadURL},
+			Metrics:    m,
+			Backoff:    time.Millisecond,
+			MaxBackoff: 5 * time.Millisecond,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSweep(t, serial, dist)
+	st := m.Snapshot()
+	if st.ShardsRetried < 1 {
+		t.Errorf("shards_retried = %d, want >= 1", st.ShardsRetried)
+	}
+}
+
+// TestPermanentErrorAbortsInsteadOfRetrying pins the guard-taxonomy
+// mapping: a remote that rejects the shard outright (here an mcpatd
+// running without -worker, answering 404) is an operator error that
+// re-dispatching cannot fix, so the sweep fails fast with the
+// classified message instead of burning the retry budget.
+func TestPermanentErrorAbortsInsteadOfRetrying(t *testing.T) {
+	space, cons := e2eSpace()
+	srv := serve.New(serve.Config{}) // worker mode off
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		_ = srv.Shutdown(context.Background())
+	})
+
+	m := &distrib.Metrics{}
+	_, err := distrib.Run(context.Background(), explore.Params{}, space, cons,
+		explore.MaxThroughput, &distrib.Options{
+			NoLocal: true,
+			Remotes: []string{ts.URL},
+			Metrics: m,
+		})
+	if err == nil {
+		t.Fatal("want an error from the non-worker remote, got success")
+	}
+	if !strings.Contains(err.Error(), "worker mode disabled") {
+		t.Errorf("error does not carry the worker-mode hint: %v", err)
+	}
+	if st := m.Snapshot(); st.ShardsRetried != 0 {
+		t.Errorf("permanent rejection burned %d retries; want 0", st.ShardsRetried)
+	}
+}
+
+// TestCancellationReturnsPartialMerge pins the serial-engine parity of
+// cancellation: a canceled distributed sweep returns promptly with
+// ctx.Err() and whatever shards completed.
+func TestCancellationReturnsPartialMerge(t *testing.T) {
+	space, cons := e2eSpace()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := distrib.Run(ctx, explore.Params{}, space, cons,
+		explore.MaxThroughput, &distrib.Options{Remotes: []string{newWorker(t)}})
+	if err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res == nil {
+		t.Fatal("want a (possibly empty) partial result, got nil")
+	}
+}

@@ -1,0 +1,130 @@
+package distrib
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metrics accumulates coordinator-side counters across one or more
+// distributed sweeps. All methods are safe for concurrent use; a nil
+// *Metrics is a valid no-op sink so call sites never need to guard.
+type Metrics struct {
+	mu sync.Mutex
+
+	dispatched uint64
+	stolen     uint64
+	retried    uint64
+
+	workers map[string]*workerAgg
+}
+
+type workerAgg struct {
+	shards     uint64
+	candidates uint64
+	failures   uint64
+	busy       time.Duration
+}
+
+// WorkerStats is the per-worker slice of a metrics snapshot.
+type WorkerStats struct {
+	Name       string  `json:"name"`
+	Shards     uint64  `json:"shards"`
+	Candidates uint64  `json:"candidates"`
+	Failures   uint64  `json:"failures"`
+	BusySec    float64 `json:"busy_sec"`
+	// Throughput is candidates per busy second — the worker's observed
+	// evaluation rate, independent of how much of the sweep it won.
+	Throughput float64 `json:"candidates_per_sec"`
+}
+
+// Stats is a point-in-time snapshot of coordinator activity.
+type Stats struct {
+	// ShardsDispatched counts every shard handed to a worker, including
+	// re-dispatches of requeued ranges.
+	ShardsDispatched uint64 `json:"shards_dispatched"`
+	// ShardsStolen counts dispatches where an idle worker took a range
+	// split off another part of the space rather than continuing its
+	// own frontier.
+	ShardsStolen uint64 `json:"shards_stolen"`
+	// ShardsRetried counts ranges requeued after a worker failure.
+	ShardsRetried uint64 `json:"shards_retried"`
+
+	Workers []WorkerStats `json:"workers,omitempty"`
+}
+
+func (m *Metrics) dispatch(stolen bool) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.dispatched++
+	if stolen {
+		m.stolen++
+	}
+	m.mu.Unlock()
+}
+
+func (m *Metrics) retry() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.retried++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) workerDone(name string, candidates, failures int, busy time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if m.workers == nil {
+		m.workers = make(map[string]*workerAgg)
+	}
+	w := m.workers[name]
+	if w == nil {
+		w = &workerAgg{}
+		m.workers[name] = w
+	}
+	w.shards++
+	w.candidates += uint64(candidates)
+	w.failures += uint64(failures)
+	w.busy += busy
+	m.mu.Unlock()
+}
+
+// Snapshot returns the current counters; workers sort by name so the
+// JSON form is stable.
+func (m *Metrics) Snapshot() Stats {
+	if m == nil {
+		return Stats{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Stats{
+		ShardsDispatched: m.dispatched,
+		ShardsStolen:     m.stolen,
+		ShardsRetried:    m.retried,
+	}
+	names := make([]string, 0, len(m.workers))
+	for name := range m.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w := m.workers[name]
+		ws := WorkerStats{
+			Name:       name,
+			Shards:     w.shards,
+			Candidates: w.candidates,
+			Failures:   w.failures,
+			BusySec:    w.busy.Seconds(),
+		}
+		if sec := w.busy.Seconds(); sec > 0 {
+			ws.Throughput = float64(w.candidates) / sec
+		}
+		s.Workers = append(s.Workers, ws)
+	}
+	return s
+}

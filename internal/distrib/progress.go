@@ -1,0 +1,80 @@
+package distrib
+
+import "sync"
+
+// progressTracker aggregates shard-local progress reports into one
+// monotonic cross-shard (done, total) stream. Shards report out of
+// order and can be re-dispatched after a worker dies, so the naive sum
+// of reports would regress; the tracker instead keeps a high-water mark
+// per live range, folds a range's count into the completed tally when
+// it finishes, discards the live entry when the range is requeued, and
+// clamps the reported value so it never moves backwards.
+type progressTracker struct {
+	mu         sync.Mutex
+	total      int
+	completed  int            // candidates in ranges that finished
+	live       map[[2]int]int // in-flight range -> its last done count
+	reported   int            // high-water mark handed to onProgress
+	onProgress func(done, total int)
+}
+
+func newProgressTracker(total int, onProgress func(done, total int)) *progressTracker {
+	return &progressTracker{
+		total:      total,
+		live:       make(map[[2]int]int),
+		onProgress: onProgress,
+	}
+}
+
+// update records a shard-local progress report for range [start, end).
+func (t *progressTracker) update(start, end, done int) {
+	t.mu.Lock()
+	key := [2]int{start, end}
+	if done > t.live[key] {
+		t.live[key] = done
+	}
+	t.emitLocked()
+	t.mu.Unlock()
+}
+
+// complete folds a finished range's candidate count into the tally.
+func (t *progressTracker) complete(start, end int) {
+	t.mu.Lock()
+	delete(t.live, [2]int{start, end})
+	t.completed += end - start
+	t.emitLocked()
+	t.mu.Unlock()
+}
+
+// requeue forgets a failed range's partial progress so its re-dispatch
+// does not double-count. The reported high-water mark is kept — the
+// aggregate view stays monotonic even though the work is redone.
+func (t *progressTracker) requeue(start, end int) {
+	t.mu.Lock()
+	delete(t.live, [2]int{start, end})
+	t.mu.Unlock()
+}
+
+func (t *progressTracker) emitLocked() {
+	done := t.completed
+	for _, d := range t.live {
+		done += d
+	}
+	if done > t.total {
+		done = t.total
+	}
+	if done <= t.reported {
+		return
+	}
+	t.reported = done
+	if t.onProgress != nil {
+		t.onProgress(done, t.total)
+	}
+}
+
+// value returns the current monotonic (done, total) view.
+func (t *progressTracker) value() (done, total int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.reported, t.total
+}

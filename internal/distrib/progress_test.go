@@ -1,0 +1,80 @@
+package distrib
+
+import "testing"
+
+// TestProgressMonotonicUnderOutOfOrderUpdates is the satellite fix's
+// contract: the aggregated (done, total) stream never regresses no
+// matter how shard updates interleave, and it converges to exactly
+// total when every range completes.
+func TestProgressMonotonicUnderOutOfOrderUpdates(t *testing.T) {
+	const total = 100
+	var reports []int
+	tr := newProgressTracker(total, func(done, tot int) {
+		if tot != total {
+			t.Fatalf("total changed mid-sweep: %d", tot)
+		}
+		reports = append(reports, done)
+	})
+
+	// Three shards report interleaved and out of order.
+	tr.update(0, 40, 10)
+	tr.update(40, 70, 5)
+	tr.update(0, 40, 30)
+	tr.update(70, 100, 25)
+	tr.update(40, 70, 2) // stale report, must not regress
+	tr.complete(40, 70)
+	tr.update(0, 40, 40)
+	tr.complete(0, 40)
+	tr.complete(70, 100)
+
+	for i := 1; i < len(reports); i++ {
+		if reports[i] <= reports[i-1] {
+			t.Fatalf("progress regressed: %v", reports)
+		}
+	}
+	if last := reports[len(reports)-1]; last != total {
+		t.Fatalf("final progress %d, want %d", last, total)
+	}
+}
+
+// TestProgressRequeueNeverRegressesOrDoubleCounts covers the failure
+// path: a shard that dies mid-range is forgotten (so its re-dispatch
+// does not double-count), yet the aggregate view stays monotonic, and
+// the re-run still converges to exactly total.
+func TestProgressRequeueNeverRegressesOrDoubleCounts(t *testing.T) {
+	const total = 60
+	var reports []int
+	tr := newProgressTracker(total, func(done, tot int) { reports = append(reports, done) })
+
+	tr.update(0, 30, 20)
+	tr.update(30, 60, 10)
+	tr.requeue(0, 30) // worker died 20 candidates in
+
+	// The re-dispatch restarts from zero; early reports are below the
+	// high-water mark and must be swallowed, not emitted as regressions.
+	tr.update(0, 30, 5)
+	tr.update(0, 30, 12)
+	if done, _ := tr.value(); done != 30 {
+		t.Fatalf("high-water mark after requeue: got %d, want 30", done)
+	}
+	tr.update(0, 30, 30)
+	tr.complete(0, 30)
+	tr.update(30, 60, 30)
+	tr.complete(30, 60)
+
+	for i := 1; i < len(reports); i++ {
+		if reports[i] <= reports[i-1] {
+			t.Fatalf("progress regressed: %v", reports)
+		}
+	}
+	if last := reports[len(reports)-1]; last != total {
+		t.Fatalf("final progress %d, want %d", last, total)
+	}
+	// A sweep whose every range completed must never report beyond the
+	// space size, even transiently (the clamp).
+	for _, r := range reports {
+		if r > total {
+			t.Fatalf("progress exceeded total: %v", reports)
+		}
+	}
+}

@@ -244,6 +244,35 @@ type Options struct {
 	// reports once at the end; the pareto search streams one update per
 	// improving generation.
 	OnFrontUpdate func(front []Candidate, evaluated int)
+
+	// Shard restricts an exhaustive sweep to the contiguous index range
+	// [Start, End) of the space's deterministic boustrophedon
+	// enumeration (see Enumerate). This is the unit of distributed
+	// work: a coordinator partitions [0, Size()) into contiguous
+	// shards, each worker evaluates its range with this option, and the
+	// union of the shards is exactly the full sweep. Because consecutive
+	// enumeration indices differ in as few axes as possible, a
+	// contiguous shard keeps the worker's subsystem cache as hot as the
+	// full sweep would. Progress (OnProgress) counts within the shard.
+	// Only the exhaustive search accepts a shard; combining it with
+	// SearchPareto is a config error.
+	Shard *ShardRange
+}
+
+// ShardRange selects the half-open enumeration index range [Start, End)
+// of an exhaustive sweep (see Options.Shard).
+type ShardRange struct {
+	Start int
+	End   int
+}
+
+// validate checks the range against the enumerated space size.
+func (r *ShardRange) validate(size int) error {
+	if r.Start < 0 || r.End < r.Start || r.End > size {
+		return guard.Configf("dse.shard",
+			"shard [%d,%d) out of range for a %d-point space", r.Start, r.End, size)
+	}
+	return nil
 }
 
 func (o *Options) defaults() Options {
@@ -337,6 +366,12 @@ func PlannedEvaluations(space Space, opts *Options) (int, error) {
 	if o.Search == SearchPareto {
 		return effectiveBudget(o.Budget, size), nil
 	}
+	if o.Shard != nil {
+		if err := o.Shard.validate(size); err != nil {
+			return 0, err
+		}
+		return o.Shard.End - o.Shard.Start, nil
+	}
 	return size, nil
 }
 
@@ -359,6 +394,17 @@ func effectiveBudget(budget, size int) int {
 		budget = size
 	}
 	return budget
+}
+
+// Enumerate lists every design point of the (defaulted) space in the
+// engine's deterministic boustrophedon order — the order Size() counts
+// and ShardRange indexes. The distributed coordinator uses it to map
+// evaluated candidates back to their global enumeration indices so
+// per-shard results can be merged into exactly the ordering a
+// single-process sweep would produce.
+func Enumerate(space Space) []Candidate {
+	space.defaults()
+	return enumerate(space)
 }
 
 // enumerate lists every design point of the space in a deterministic
@@ -511,8 +557,20 @@ func SearchContext(ctx context.Context, p Params, space Space, cons Constraints,
 	planned := size
 	switch o.Search {
 	case SearchExhaustive:
-		gen = newExhaustiveGenerator(space)
+		g := newExhaustiveGenerator(space)
+		if o.Shard != nil {
+			if err := o.Shard.validate(size); err != nil {
+				return nil, err
+			}
+			g.specs = g.specs[o.Shard.Start:o.Shard.End]
+			planned = o.Shard.End - o.Shard.Start
+		}
+		gen = g
 	case SearchPareto:
+		if o.Shard != nil {
+			return nil, guard.Configf("dse.shard",
+				"sharding applies to exhaustive sweeps only, not the %v search", o.Search)
+		}
 		planned = effectiveBudget(o.Budget, size)
 		seed := o.Seed
 		if seed == 0 {

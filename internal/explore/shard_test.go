@@ -1,0 +1,142 @@
+package explore
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mcpat/internal/guard"
+)
+
+func shardTestSpace() Space {
+	return Space{
+		Cores:       []int{2, 4, 8, 16},
+		L2PerCoreKB: []int{64, 128, 256},
+	}
+}
+
+func TestShardRangeValidation(t *testing.T) {
+	space := shardTestSpace()
+	size, err := space.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []ShardRange{
+		{Start: -1, End: 2},
+		{Start: 3, End: 2},
+		{Start: 0, End: size + 1},
+	}
+	for _, r := range bad {
+		r := r
+		_, err := SearchContext(context.Background(), Params{}, space, Constraints{}, MaxThroughput,
+			&Options{Shard: &r})
+		if !errors.Is(err, guard.ErrConfig) {
+			t.Errorf("shard [%d,%d): want config error, got %v", r.Start, r.End, err)
+		}
+		if _, err := PlannedEvaluations(space, &Options{Shard: &r}); !errors.Is(err, guard.ErrConfig) {
+			t.Errorf("PlannedEvaluations shard [%d,%d): want config error, got %v", r.Start, r.End, err)
+		}
+	}
+	if n, err := PlannedEvaluations(space, &Options{Shard: &ShardRange{Start: 2, End: 7}}); err != nil || n != 5 {
+		t.Errorf("PlannedEvaluations valid shard: got (%d, %v), want (5, nil)", n, err)
+	}
+}
+
+func TestShardRejectedForParetoSearch(t *testing.T) {
+	_, err := SearchContext(context.Background(), Params{}, shardTestSpace(), Constraints{}, MaxThroughput,
+		&Options{Search: SearchPareto, Shard: &ShardRange{Start: 0, End: 4}})
+	if !errors.Is(err, guard.ErrConfig) {
+		t.Fatalf("pareto + shard: want config error, got %v", err)
+	}
+}
+
+// TestShardUnionMatchesFullSweep is the engine-level half of the
+// distributed-equals-serial contract: evaluating a partition of
+// [0, size) shard by shard visits exactly the full enumeration, each
+// shard's planned total equals its length, and the per-shard progress
+// callbacks count that shard alone.
+func TestShardUnionMatchesFullSweep(t *testing.T) {
+	space := shardTestSpace()
+	full, err := SearchContext(context.Background(), Params{}, space, Constraints{}, MaxThroughput, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := full.SpaceSize
+
+	type key struct {
+		cores, l2 int
+	}
+	want := make(map[key]Candidate, size)
+	for _, c := range full.Candidates {
+		want[key{c.Cores, c.L2PerCoreKB}] = c
+	}
+
+	bounds := []int{0, 3, 4, 9, size}
+	seen := make(map[key]Candidate, size)
+	for i := 0; i+1 < len(bounds); i++ {
+		start, end := bounds[i], bounds[i+1]
+		var progressed int
+		res, err := SearchContext(context.Background(), Params{}, space, Constraints{}, MaxThroughput,
+			&Options{
+				Shard:      &ShardRange{Start: start, End: end},
+				OnProgress: func(done, total int) { progressed, _ = done, total },
+			})
+		if err != nil {
+			t.Fatalf("shard [%d,%d): %v", start, end, err)
+		}
+		if res.Evaluated != end-start {
+			t.Errorf("shard [%d,%d): evaluated %d, want %d", start, end, res.Evaluated, end-start)
+		}
+		if progressed != end-start {
+			t.Errorf("shard [%d,%d): final progress %d, want %d", start, end, progressed, end-start)
+		}
+		for _, c := range res.Candidates {
+			k := key{c.Cores, c.L2PerCoreKB}
+			if _, dup := seen[k]; dup {
+				t.Fatalf("shard [%d,%d): candidate %+v already evaluated by an earlier shard", start, end, k)
+			}
+			seen[k] = c
+		}
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("shard union has %d candidates, full sweep %d", len(seen), len(want))
+	}
+	for k, w := range want {
+		got, ok := seen[k]
+		if !ok {
+			t.Fatalf("candidate %+v missing from the shard union", k)
+		}
+		if got != w {
+			t.Errorf("candidate %+v differs between sharded and full evaluation:\n got %+v\nwant %+v", k, got, w)
+		}
+	}
+}
+
+// TestEnumerateIsShardingBasis pins the public Enumerate wrapper: it
+// defaults the space, has the full cross-product size, and slicing it
+// is exactly what Options.Shard evaluates.
+func TestEnumerateIsShardingBasis(t *testing.T) {
+	space := shardTestSpace()
+	specs := Enumerate(space)
+	size, err := space.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != size {
+		t.Fatalf("Enumerate returned %d specs, want %d", len(specs), size)
+	}
+	res, err := SearchContext(context.Background(), Params{}, space, Constraints{}, MaxThroughput,
+		&Options{Shard: &ShardRange{Start: 2, End: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[[2]int]bool)
+	for _, c := range res.Candidates {
+		got[[2]int{c.Cores, c.L2PerCoreKB}] = true
+	}
+	for _, s := range specs[2:5] {
+		if !got[[2]int{s.Cores, s.L2PerCoreKB}] {
+			t.Errorf("Enumerate[2:5] spec %dc/%dKB not evaluated by shard [2,5)", s.Cores, s.L2PerCoreKB)
+		}
+	}
+}

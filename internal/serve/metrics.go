@@ -10,6 +10,7 @@ import (
 	"mcpat/internal/array"
 	"mcpat/internal/chip"
 	"mcpat/internal/component"
+	"mcpat/internal/distrib"
 	"mcpat/internal/persist"
 )
 
@@ -54,6 +55,19 @@ type metrics struct {
 	traceSamples        atomic.Uint64
 	traceThermalStreams atomic.Uint64
 	traceThrottled      atomic.Uint64
+
+	// shardsServed counts /v1/dse/shard requests that reached the
+	// streaming phase; shardsFailed the subset that ended in an error
+	// frame; shardCandidates the design points evaluated across all of
+	// them (worker-side view of distributed sweeps).
+	shardsServed    atomic.Uint64
+	shardsFailed    atomic.Uint64
+	shardCandidates atomic.Uint64
+
+	// coord, when non-nil, is the long-lived coordinator metrics
+	// instance (set when the server fans DSE jobs out to remote
+	// workers).
+	coord *distrib.Metrics
 
 	jobsSubmitted atomic.Uint64
 	jobsDone      atomic.Uint64
@@ -136,6 +150,14 @@ type TraceMetricsJSON struct {
 	ThrottledSamples uint64 `json:"throttled_samples"`
 }
 
+// ShardMetricsJSON is the worker-side /v1/dse/shard section of the
+// snapshot.
+type ShardMetricsJSON struct {
+	Served     uint64 `json:"served"`
+	Failed     uint64 `json:"failed"`
+	Candidates uint64 `json:"candidates"`
+}
+
 // MetricsSnapshot is the GET /metrics body.
 type MetricsSnapshot struct {
 	UptimeSec float64 `json:"uptime_sec"`
@@ -147,6 +169,14 @@ type MetricsSnapshot struct {
 	// Trace reports the streaming power-trace endpoint's activity: the
 	// number of streams that began and the interval samples emitted.
 	Trace TraceMetricsJSON `json:"trace"`
+	// Shard reports the worker side of distributed sweeps: shard
+	// requests served by POST /v1/dse/shard and the candidates they
+	// evaluated. All zero unless the server runs in worker mode.
+	Shard ShardMetricsJSON `json:"dse_shard"`
+	// Distrib reports the coordinator side — shards dispatched, stolen,
+	// retried, and per-worker throughput — and is present only when the
+	// server coordinates DSE jobs across remote workers.
+	Distrib *distrib.Stats `json:"distrib,omitempty"`
 	// Cache reports the array-synthesis cache activity since the server
 	// started (Entries is the current resident total).
 	Cache CacheStatsJSON `json:"synth_cache"`
@@ -196,12 +226,21 @@ func (m *metrics) snapshot() MetricsSnapshot {
 			ThermalStreams:   m.traceThermalStreams.Load(),
 			ThrottledSamples: m.traceThrottled.Load(),
 		},
+		Shard: ShardMetricsJSON{
+			Served:     m.shardsServed.Load(),
+			Failed:     m.shardsFailed.Load(),
+			Candidates: m.shardCandidates.Load(),
+		},
 		Cache:         newCacheStatsJSON(array.Stats().Delta(m.cacheBase)),
 		Subsys:        newSubsysCacheStatsJSON(component.Stats().Delta(m.subsysBase)),
 		ArrayOpt:      newArrayOptStatsJSON(array.OptStats().Delta(m.optBase)),
 		Disk:          newDiskCacheStatsJSON(persist.DefaultStats().Delta(m.diskBase)),
 		SynthWorkers:  chip.SynthWorkers(),
 		SynthInflight: chip.SynthInflight(),
+	}
+	if m.coord != nil {
+		st := m.coord.Snapshot()
+		snap.Distrib = &st
 	}
 	if m.queueDepth != nil {
 		snap.Jobs.QueueDepth = m.queueDepth()

@@ -26,6 +26,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mcpat/internal/distrib"
+	"mcpat/internal/explore"
 )
 
 // Config tunes the server. The zero value selects the documented
@@ -60,6 +63,18 @@ type Config struct {
 	// their original ids. An unusable path degrades to a non-durable
 	// server with a logged warning — it never prevents startup.
 	JournalPath string
+
+	// WorkerMode enables POST /v1/dse/shard, the coordinator-facing
+	// shard evaluation endpoint (mcpatd -worker). Off by default: a
+	// public evaluation server should not expose compute that bypasses
+	// the job queue.
+	WorkerMode bool
+
+	// RemoteWorkers lists mcpatd -worker base URLs. When non-empty,
+	// exhaustive DSE jobs are coordinated across them (plus the local
+	// engine) by internal/distrib instead of running single-process;
+	// coordinator counters appear under "distrib" in GET /metrics.
+	RemoteWorkers []string
 
 	// Logf, when non-nil, receives one line per completed request and
 	// per lifecycle event (Printf-style).
@@ -139,6 +154,31 @@ func New(cfg Config) *Server {
 		baseCtx:    baseCtx,
 		cancelBase: cancel,
 	}
+	if len(cfg.RemoteWorkers) > 0 {
+		// Exhaustive DSE jobs fan out across the configured workers;
+		// everything else (pareto search, which is not shardable) keeps
+		// the single-process path. The coordinator metrics instance is
+		// long-lived so /metrics aggregates across jobs.
+		coord := &distrib.Metrics{}
+		m.coord = coord
+		serial := s.jobs.runSweep
+		s.jobs.runSweep = func(ctx context.Context, j *job) (*explore.Result, error) {
+			if j.opts.Search != explore.SearchExhaustive {
+				return serial(ctx, j)
+			}
+			return distrib.Run(ctx, j.params, j.space, j.cons, j.obj, &distrib.Options{
+				Remotes:          cfg.RemoteWorkers,
+				ShardWorkers:     j.opts.Workers,
+				SynthWorkers:     j.opts.SynthWorkers,
+				CandidateTimeout: j.opts.CandidateTimeout,
+				FrontSize:        j.opts.FrontSize,
+				OnProgress:       j.opts.OnProgress,
+				OnFrontUpdate:    j.opts.OnFrontUpdate,
+				Metrics:          coord,
+				Logf:             cfg.Logf,
+			})
+		}
+	}
 	for _, rj := range recovered {
 		s.jobs.resubmit(rj)
 	}
@@ -150,6 +190,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/trace", s.handleTrace)
 	mux.HandleFunc("POST /v1/dse", s.handleDSESubmit)
+	mux.HandleFunc("POST /v1/dse/shard", s.handleDSEShard)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)

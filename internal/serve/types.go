@@ -7,6 +7,7 @@ import (
 	"mcpat/internal/array"
 	"mcpat/internal/chip"
 	"mcpat/internal/component"
+	"mcpat/internal/distrib"
 	"mcpat/internal/explore"
 	"mcpat/internal/persist"
 	"mcpat/internal/power"
@@ -348,6 +349,10 @@ type DSEReport struct {
 	// Disk reports the persistent cache tier's activity during the sweep
 	// (zero-valued with Enabled false when no cache directory is set).
 	Disk DiskCacheStatsJSON `json:"disk_cache"`
+	// Distrib reports the coordinator's shard accounting when the sweep
+	// ran distributed (mcpat-dse -remote); absent on single-process
+	// sweeps.
+	Distrib *distrib.Stats `json:"distrib,omitempty"`
 }
 
 // NewDSEReport converts an engine result into the shared wire form.

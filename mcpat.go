@@ -48,6 +48,7 @@ import (
 	"mcpat/internal/component"
 	"mcpat/internal/config"
 	"mcpat/internal/core"
+	"mcpat/internal/distrib"
 	"mcpat/internal/dram"
 	"mcpat/internal/explore"
 	"mcpat/internal/floorplan"
@@ -486,6 +487,32 @@ func ExploreDesignSpace(p DSEParams, space DSESpace, cons DSEConstraints, obj DS
 // count. opts may be nil for defaults.
 func ExploreDesignSpaceContext(ctx context.Context, p DSEParams, space DSESpace, cons DSEConstraints, obj DSEObjective, opts *DSEOptions) (*DSEResult, error) {
 	return explore.SearchContext(ctx, p, space, cons, obj, opts)
+}
+
+// Distributed DSE (the coordinator/worker subsystem). A coordinator
+// shards an exhaustive sweep across mcpatd -worker instances over HTTP
+// with work-stealing and bounded retry, and merges the per-shard
+// results into a result bit-identical to the single-process engine.
+type (
+	// DistribOptions tunes the distributed coordinator (remote workers,
+	// shard sizing, retry/backoff, metrics sink).
+	DistribOptions = distrib.Options
+	// DistribMetrics accumulates coordinator counters across sweeps;
+	// pass one instance via DistribOptions.Metrics and snapshot it.
+	DistribMetrics = distrib.Metrics
+	// DistribStats is a point-in-time snapshot of coordinator activity
+	// (shards dispatched/stolen/retried, per-worker throughput).
+	DistribStats = distrib.Stats
+)
+
+// ExploreDesignSpaceDistributed runs an exhaustive sweep sharded across
+// the workers in opts.Remotes (plus the built-in local worker), with
+// the same cancellation semantics as ExploreDesignSpaceContext. The
+// result is bit-identical to the single-process sweep: candidate
+// ranking, winners, and Pareto front all match. opts may be nil, which
+// degrades to the local worker alone.
+func ExploreDesignSpaceDistributed(ctx context.Context, p DSEParams, space DSESpace, cons DSEConstraints, obj DSEObjective, opts *DistribOptions) (*DSEResult, error) {
+	return distrib.Run(ctx, p, space, cons, obj, opts)
 }
 
 // HTTP evaluation service (the mcpatd subsystem). The wire types are
